@@ -1,0 +1,126 @@
+package gridrdb
+
+// Microbenchmarks for the substrates that dominate the end-to-end numbers:
+// the XML-RPC codec (every Clarens call), the staging codec (every ETL
+// byte), and the semantic matcher extension.
+
+import (
+	"fmt"
+	"testing"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/ntuple"
+	"gridrdb/internal/semantic"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// BenchmarkXMLRPCResultCodec measures encoding+decoding a 1000-row result
+// through the Clarens value family — the dominant per-row cost of the
+// remote path in Table 1 / Figure 6.
+func BenchmarkXMLRPCResultCodec(b *testing.B) {
+	rs := &sqlengine.ResultSet{Columns: []string{"event_id", "run", "e_tot"}}
+	for i := 0; i < 1000; i++ {
+		rs.Rows = append(rs.Rows, sqlengine.Row{
+			sqlengine.NewInt(int64(i)), sqlengine.NewInt(int64(100 + i%5)),
+			sqlengine.NewFloat(float64(i) / 7),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, err := clarens.MarshalResponse(dataaccess.EncodeResult(rs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := clarens.UnmarshalResponse(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		back, err := dataaccess.DecodeResult(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(back.Rows) != 1000 {
+			b.Fatal("row loss")
+		}
+		b.SetBytes(int64(len(payload)))
+	}
+}
+
+// BenchmarkNtupleGeneration measures the workload generator itself.
+func BenchmarkNtupleGeneration(b *testing.B) {
+	cfg := ntuple.Config{Name: "b", NVar: 200, NEvents: 1000, Runs: 8, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events := ntuple.NewGenerator(cfg).Events()
+		if len(events) != 1000 {
+			b.Fatal("short generation")
+		}
+	}
+}
+
+// BenchmarkSemanticMatch measures schema matching over two 50-table specs
+// (the §6 extension).
+func BenchmarkSemanticMatch(b *testing.B) {
+	mkSpec := func(name, prefix string) *xspec.LowerSpec {
+		s := &xspec.LowerSpec{Name: name, Dialect: "ansi"}
+		for i := 0; i < 50; i++ {
+			s.Tables = append(s.Tables, xspec.TableSpec{
+				Name: fmt.Sprintf("%stable_%d", prefix, i),
+				Columns: []xspec.ColumnSpec{
+					{Name: "id", Kind: "INTEGER"},
+					{Name: fmt.Sprintf("val_%d", i), Kind: "DOUBLE"},
+					{Name: "tag", Kind: "VARCHAR"},
+				},
+			})
+		}
+		return s
+	}
+	left := mkSpec("a", "")
+	right := mkSpec("b", "tbl_")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := semantic.MatchSpecs(left, right, semantic.DefaultOptions())
+		if len(m) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkXSpecGenerate measures live-introspection cost (the schema
+// tracker pays this every interval, §4.9).
+func BenchmarkXSpecGenerate(b *testing.B) {
+	e := sqlengine.NewEngine("bx", sqlengine.DialectMySQL)
+	for i := 0; i < 40; i++ {
+		if _, err := e.Exec(fmt.Sprintf("CREATE TABLE `t%d` (`a` BIGINT, `b` DOUBLE, `c` VARCHAR(32))", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec, err := xspec.Generate("bx", "mysql", e)
+		if err != nil || len(spec.Tables) != 40 {
+			b.Fatalf("%v %d", err, len(spec.Tables))
+		}
+		data, err := spec.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = xspec.FingerprintOf(data)
+	}
+}
+
+// BenchmarkWireThroughput measures raw rows/sec through the TCP wire
+// protocol with a trivial query (no netsim charging).
+func BenchmarkWireRoundTrip(b *testing.B) {
+	d := benchDeployment(b)
+	fed := d.Serv1.Federation()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := fed.QuerySource("d1", "SELECT 1")
+		if err != nil || len(rs.Rows) != 1 {
+			b.Fatalf("%v", err)
+		}
+	}
+}

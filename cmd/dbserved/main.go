@@ -1,0 +1,117 @@
+// Command dbserved serves one or more emulated vendor databases over TCP,
+// playing the role of the remote Oracle/MySQL/MS-SQL servers at the LHC
+// tier sites. Databases are declared as name=dialect pairs and optionally
+// bootstrapped from SQL scripts or snapshot files.
+//
+// Usage:
+//
+//	dbserved -addr :9401 -db tier1ora=oracle -db tier2my=mysql \
+//	         [-init tier1ora=/path/schema.sql] [-load tier2my=/path/db.gridsql] \
+//	         [-user admin:pw]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/wire"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	addr := flag.String("addr", ":9401", "listen address")
+	var dbs, inits, loads, users repeated
+	flag.Var(&dbs, "db", "database to host, as name=dialect (repeatable)")
+	flag.Var(&inits, "init", "bootstrap SQL script, as name=path (repeatable)")
+	flag.Var(&loads, "load", "snapshot to load, as name=path (repeatable)")
+	flag.Var(&users, "user", "credentials required on every database, as user:password (repeatable)")
+	flag.Parse()
+
+	if len(dbs) == 0 && len(loads) == 0 {
+		log.Fatal("dbserved: at least one -db or -load is required")
+	}
+	srv := wire.NewServer(log.Default())
+	engines := map[string]*sqlengine.Engine{}
+
+	for _, spec := range dbs {
+		name, dialectName, err := splitPair(spec)
+		if err != nil {
+			log.Fatalf("dbserved: -db %q: %v", spec, err)
+		}
+		dialect, err := sqlengine.DialectByName(dialectName)
+		if err != nil {
+			log.Fatalf("dbserved: %v", err)
+		}
+		engines[name] = sqlengine.NewEngine(name, dialect)
+	}
+	for _, spec := range loads {
+		name, path, err := splitPair(spec)
+		if err != nil {
+			log.Fatalf("dbserved: -load %q: %v", spec, err)
+		}
+		e, err := sqlengine.LoadFile(path)
+		if err != nil {
+			log.Fatalf("dbserved: load %s: %v", path, err)
+		}
+		engines[name] = e
+	}
+	for _, spec := range inits {
+		name, path, err := splitPair(spec)
+		if err != nil {
+			log.Fatalf("dbserved: -init %q: %v", spec, err)
+		}
+		e, ok := engines[name]
+		if !ok {
+			log.Fatalf("dbserved: -init %s: no such database", name)
+		}
+		script, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("dbserved: %v", err)
+		}
+		if err := e.ExecScript(string(script)); err != nil {
+			log.Fatalf("dbserved: init %s: %v", name, err)
+		}
+	}
+	for _, cred := range users {
+		u, p, ok := strings.Cut(cred, ":")
+		if !ok {
+			log.Fatalf("dbserved: -user %q: want user:password", cred)
+		}
+		for _, e := range engines {
+			e.AddUser(u, p)
+		}
+	}
+	for name, e := range engines {
+		srv.AddEngine(e)
+		log.Printf("dbserved: hosting %s (%s dialect, %d tables)", name, e.Dialect().Name, len(e.Database().TableNames()))
+	}
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("dbserved: %v", err)
+	}
+	log.Printf("dbserved: listening on %s", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("dbserved: shutting down")
+	srv.Close()
+}
+
+func splitPair(s string) (string, string, error) {
+	a, b, ok := strings.Cut(s, "=")
+	if !ok || a == "" || b == "" {
+		return "", "", fmt.Errorf("want key=value")
+	}
+	return a, b, nil
+}

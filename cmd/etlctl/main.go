@@ -1,0 +1,143 @@
+// Command etlctl drives the warehouse ETL pipeline from the command line:
+// Stage 1 populates the warehouse from normalized sources, Stage 2
+// materializes warehouse views into data marts (§5's stages).
+//
+// Usage:
+//
+//	etlctl -stage 1 -src tcp://host/tier2my -warehouse tcp://host/wh \
+//	       -ntuple nt -nvar 8 -nevents 1000
+//	etlctl -stage 2 -warehouse tcp://host/wh -mart tcp://host/mart1 \
+//	       -mart-dialect mysql -view v_nt_run100 -ntuple nt -nvar 8
+//
+// Databases are addressed by DSN; local:// and file:// also work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"gridrdb/internal/ntuple"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/warehouse"
+	"gridrdb/internal/wire"
+)
+
+// dsnDB opens a read/write handle for a DSN.
+func dsnDB(dsn string) (warehouse.DB, func(), error) {
+	switch {
+	case strings.HasPrefix(dsn, "tcp://"):
+		rest := strings.TrimPrefix(dsn, "tcp://")
+		rest = strings.SplitN(rest, "?", 2)[0]
+		host, db, ok := strings.Cut(rest, "/")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad tcp DSN %q", dsn)
+		}
+		var hello wire.Hello
+		hello.Database = db
+		if at := strings.LastIndex(host, "@"); at >= 0 {
+			cred := host[:at]
+			host = host[at+1:]
+			hello.User, hello.Password, _ = strings.Cut(cred, ":")
+		}
+		c, err := wire.Dial(host, hello, nil, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() { c.Close() }, nil
+	case strings.HasPrefix(dsn, "file://"):
+		path := strings.TrimPrefix(dsn, "file://")
+		e, err := sqlengine.LoadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, func() { e.SaveFile(path) }, nil
+	}
+	return nil, nil, fmt.Errorf("unsupported DSN %q (want tcp:// or file://)", dsn)
+}
+
+func main() {
+	stage := flag.Int("stage", 1, "ETL stage: 1 (sources -> warehouse) or 2 (views -> marts)")
+	src := flag.String("src", "", "stage 1: normalized source DSN")
+	wh := flag.String("warehouse", "", "warehouse DSN")
+	whDialect := flag.String("warehouse-dialect", "oracle", "warehouse vendor dialect")
+	mart := flag.String("mart", "", "stage 2: target mart DSN")
+	martDialect := flag.String("mart-dialect", "mysql", "mart vendor dialect")
+	view := flag.String("view", "", "stage 2: warehouse view to materialize")
+	martTable := flag.String("mart-table", "", "stage 2: mart table name (default: the view name)")
+	name := flag.String("ntuple", "nt", "ntuple name")
+	nvar := flag.Int("nvar", 8, "variables per event")
+	direct := flag.Bool("direct", false, "stream directly instead of staging through a temp file")
+	makeViews := flag.Bool("create-views", false, "stage 1: also create per-run views on the warehouse")
+	flag.Parse()
+
+	cfg := ntuple.Config{Name: *name, NVar: *nvar, Runs: 4}
+	whd, err := sqlengine.DialectByName(*whDialect)
+	if err != nil {
+		log.Fatalf("etlctl: %v", err)
+	}
+	whDB, whClose, err := dsnDB(*wh)
+	if err != nil {
+		log.Fatalf("etlctl: warehouse: %v", err)
+	}
+	defer whClose()
+
+	etl := warehouse.NewETL()
+	etl.Staging = !*direct
+
+	switch *stage {
+	case 1:
+		if *src == "" {
+			log.Fatal("etlctl: -src is required for stage 1")
+		}
+		srcDB, srcClose, err := dsnDB(*src)
+		if err != nil {
+			log.Fatalf("etlctl: source: %v", err)
+		}
+		defer srcClose()
+		if err := warehouse.InitWarehouse(whDB, whd, cfg); err != nil {
+			log.Fatalf("etlctl: init warehouse: %v", err)
+		}
+		res, err := etl.RunStage1(srcDB, cfg, whDB, whd)
+		if err != nil {
+			log.Fatalf("etlctl: stage 1: %v", err)
+		}
+		fmt.Printf("stage 1: %d rows, %.3f kB staged, extract %.4fs, load %.4fs\n",
+			res.Rows, float64(res.Bytes)/1000, res.ExtractTime.Seconds(), res.LoadTime.Seconds())
+		if *makeViews {
+			views := warehouse.RunViews(cfg, whd)
+			if err := warehouse.CreateViews(whDB, views); err != nil {
+				log.Fatalf("etlctl: create views: %v", err)
+			}
+			for _, v := range views {
+				fmt.Printf("created view %s\n", v.Name)
+			}
+		}
+	case 2:
+		if *mart == "" || *view == "" {
+			log.Fatal("etlctl: -mart and -view are required for stage 2")
+		}
+		md, err := sqlengine.DialectByName(*martDialect)
+		if err != nil {
+			log.Fatalf("etlctl: %v", err)
+		}
+		martDB, martClose, err := dsnDB(*mart)
+		if err != nil {
+			log.Fatalf("etlctl: mart: %v", err)
+		}
+		defer martClose()
+		target := *martTable
+		if target == "" {
+			target = *view
+		}
+		res, err := etl.Materialize(whDB, *view, cfg, martDB, md, target)
+		if err != nil {
+			log.Fatalf("etlctl: stage 2: %v", err)
+		}
+		fmt.Printf("stage 2: %d rows, %.3f kB staged, extract %.4fs, load %.4fs\n",
+			res.Rows, float64(res.Bytes)/1000, res.ExtractTime.Seconds(), res.LoadTime.Seconds())
+	default:
+		log.Fatalf("etlctl: unknown stage %d", *stage)
+	}
+}

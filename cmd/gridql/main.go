@@ -1,0 +1,76 @@
+// Command gridql is the CLI query client: it submits SQL (written against
+// logical table names) to a JClarens server over XML-RPC and prints the
+// merged result table, mirroring the paper's lightweight Clarens clients.
+//
+// Usage:
+//
+//	gridql -server http://host:9410 [-user u -password p] "SELECT ..."
+//	gridql -server http://host:9410 -tables
+//	gridql -server http://host:9410 -schema events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/sqlengine"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:9410", "JClarens server URL")
+	user := flag.String("user", "", "login user (for closed servers)")
+	password := flag.String("password", "", "login password")
+	tables := flag.Bool("tables", false, "list logical tables and exit")
+	schema := flag.String("schema", "", "print a table's schema and exit")
+	flag.Parse()
+
+	c := clarens.NewClient(*server)
+	if *user != "" {
+		if err := c.Login(*user, *password); err != nil {
+			log.Fatalf("gridql: login: %v", err)
+		}
+	}
+
+	switch {
+	case *tables:
+		res, err := c.Call("dataaccess.tables")
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		for _, t := range res.([]interface{}) {
+			fmt.Println(t)
+		}
+	case *schema != "":
+		res, err := c.Call("dataaccess.schema", *schema)
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		m := res.(map[string]interface{})
+		fmt.Printf("table %v (replicas: %v)\n", m["table"], m["replicas"])
+		cols, _ := m["columns"].([]interface{})
+		for _, ci := range cols {
+			col := ci.(map[string]interface{})
+			fmt.Printf("  %-24v %-12v nullable=%v key=%v\n", col["name"], col["kind"], col["nullable"], col["key"])
+		}
+	default:
+		query := strings.TrimSpace(strings.Join(flag.Args(), " "))
+		if query == "" {
+			log.Fatal("gridql: no query given (or use -tables / -schema)")
+		}
+		res, err := c.Call("dataaccess.query", query)
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		rs, err := dataaccess.DecodeResult(res)
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		fmt.Print(sqlengine.FormatResult(rs))
+		m := res.(map[string]interface{})
+		fmt.Printf("(%d rows via %v, %v server(s))\n", len(rs.Rows), m["route"], m["servers"])
+	}
+}

@@ -1,0 +1,38 @@
+// Command rlsd runs the central Replica Location Service catalog (§4.8).
+//
+// Usage:
+//
+//	rlsd [-addr :9400] [-ttl 5m]
+//
+// Endpoints: POST /publish, POST /unpublish, GET /lookup?table=T,
+// GET /dump, GET /healthz.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"gridrdb/internal/rls"
+)
+
+func main() {
+	addr := flag.String("addr", ":9400", "listen address")
+	ttl := flag.Duration("ttl", 5*time.Minute, "publication time-to-live")
+	flag.Parse()
+
+	srv := rls.NewServer(*ttl)
+	url, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatalf("rlsd: %v", err)
+	}
+	log.Printf("rlsd: replica location service at %s (ttl %s)", url, *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("rlsd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,117 @@
+// lhc-nonevent models the paper's motivating workload: LHC *non-event*
+// data — detector calibration and conditions records — replicated across
+// the tiered computing model (Tier-0 at CERN down to Tier-3 laptops), each
+// tier on the database technology the paper names for it: Oracle at
+// Tier-0/1, MySQL and MS-SQL at Tier-2/3, SQLite for disconnected laptop
+// analysis. A physicist at a Tier-2 site then asks one SQL question that
+// transparently spans all of them.
+//
+// Run with: go run ./examples/lhc-nonevent
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridrdb"
+)
+
+func main() {
+	// --- Tier databases ----------------------------------------------
+	// Tier-0 (CERN): the authoritative calibration store, Oracle.
+	tier0 := gridrdb.NewEngine("cern_tier0", gridrdb.Oracle)
+	mustScript(tier0, `
+		CREATE TABLE "calibration" ("calib_id" NUMBER PRIMARY KEY, "subdetector" VARCHAR2(32),
+		                            "run" NUMBER, "gain" BINARY_DOUBLE, "pedestal" BINARY_DOUBLE);
+		INSERT INTO "calibration" VALUES
+			(1, 'ECAL', 100, 1.015, 0.12), (2, 'ECAL', 101, 1.017, 0.11),
+			(3, 'HCAL', 100, 0.973, 0.31), (4, 'HCAL', 101, 0.969, 0.33),
+			(5, 'TRACKER', 100, 1.002, 0.05), (6, 'TRACKER', 101, 1.004, 0.06)`)
+
+	// Tier-1 (regional center): run conditions, Oracle.
+	tier1 := gridrdb.NewEngine("fnal_tier1", gridrdb.Oracle)
+	mustScript(tier1, `
+		CREATE TABLE "conditions" ("run" NUMBER PRIMARY KEY, "beam_energy" BINARY_DOUBLE,
+		                           "magnet_t" BINARY_DOUBLE, "status" VARCHAR2(16));
+		INSERT INTO "conditions" VALUES
+			(100, 7000, 3.8, 'GOOD'), (101, 7000, 3.8, 'GOOD'), (102, 3500, 0.0, 'COSMIC')`)
+
+	// Tier-2 (university): local luminosity bookkeeping, MySQL.
+	tier2 := gridrdb.NewEngine("caltech_tier2", gridrdb.MySQL)
+	mustScript(tier2, "CREATE TABLE `lumi` (`run` BIGINT PRIMARY KEY, `delivered_pb` DOUBLE, `recorded_pb` DOUBLE);"+
+		"INSERT INTO `lumi` VALUES (100, 12.5, 11.9), (101, 14.2, 13.6), (102, 0.4, 0.4)")
+
+	// Tier-3 (group cluster): analysis bookkeeping, MS-SQL.
+	tier3 := gridrdb.NewEngine("group_tier3", gridrdb.MSSQL)
+	mustScript(tier3, "CREATE TABLE [datasets] ([run] BIGINT, [name] NVARCHAR(64), [events] BIGINT);"+
+		"INSERT INTO [datasets] VALUES (100, '/Higgs/Run100/RECO', 150000), (101, '/Higgs/Run101/RECO', 182000)")
+
+	// --- Grid deployment ----------------------------------------------
+	grid := gridrdb.NewGrid()
+	defer grid.Close()
+	if _, err := grid.StartRLS(""); err != nil {
+		log.Fatal(err)
+	}
+	cern, err := grid.AddServer(gridrdb.ServerConfig{Name: "jclarens-cern", Open: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	campus, err := grid.AddServer(gridrdb.ServerConfig{Name: "jclarens-caltech", Open: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range []*gridrdb.Engine{tier0, tier1} {
+		if err := cern.AddMart(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, m := range []*gridrdb.Engine{tier2, tier3} {
+		if err := campus.AddMart(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("deployment: CERN hosts calibration+conditions (Oracle), campus hosts lumi (MySQL) + datasets (MS-SQL)")
+
+	// --- One SQL question spanning four databases on two servers ------
+	// Asked at the *campus* server: calibration and conditions are not
+	// local, so the data access layer resolves them through the RLS and
+	// pulls them from the CERN instance.
+	qr, err := campus.Query(`
+		SELECT c.run, c.subdetector, c.gain, r.beam_energy, l.recorded_pb, d.name
+		FROM calibration c
+		JOIN conditions r ON c.run = r.run
+		JOIN lumi l       ON l.run = c.run
+		JOIN datasets d   ON d.run = c.run
+		WHERE r.status = 'GOOD' AND c.subdetector = 'ECAL'
+		ORDER BY c.run`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nECAL calibrations for good runs, joined across 4 tiers (%s route, %d servers):\n%s",
+		qr.Route, qr.Servers, gridrdb.FormatResult(qr.ResultSet))
+
+	// Aggregate across the federation: total recorded luminosity per
+	// detector status.
+	qr, err = campus.Query(`
+		SELECT r.status, COUNT(DISTINCT l.run) AS runs, SUM(l.recorded_pb) AS recorded
+		FROM conditions r JOIN lumi l ON r.run = l.run
+		GROUP BY r.status ORDER BY r.status`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nluminosity per run status (%s route):\n%s", qr.Route, gridrdb.FormatResult(qr.ResultSet))
+
+	// The same calibration table queried from CERN's own server takes
+	// the fast local path (POOL-RAL, since Oracle is POOL-supported).
+	qr, err = cern.Query(`SELECT calib_id, subdetector, gain FROM calibration WHERE run = 100`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame data at CERN goes via the %s route:\n%s", qr.Route, gridrdb.FormatResult(qr.ResultSet))
+}
+
+func mustScript(e *gridrdb.Engine, script string) {
+	if err := e.ExecScript(script); err != nil {
+		log.Fatalf("%s: %v", e.Name(), err)
+	}
+}

@@ -1,0 +1,130 @@
+// Quickstart walks the full pipeline of the paper end to end, in process:
+//
+//  1. two normalized source databases (Oracle and MySQL dialects) are
+//     populated with HBOOK-style ntuple data;
+//  2. Stage 1 ETL integrates them into the denormalized star schema of an
+//     Oracle warehouse through the staging file;
+//  3. Stage 2 materializes per-run warehouse views into data marts of
+//     four different vendors;
+//  4. a Grid deployment (RLS + two JClarens servers) hosts the marts;
+//  5. clients run federated SQL with a single logical view, including a
+//     cross-server join.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridrdb"
+	"gridrdb/internal/ntuple"
+	"gridrdb/internal/warehouse"
+)
+
+func main() {
+	// --- 1. Normalized sources at the tier sites ---------------------
+	cfg := ntuple.Config{Name: "higgs", NVar: 6, NEvents: 400, Runs: 4, Seed: 7}
+	tier1 := gridrdb.NewEngine("tier1_oracle", gridrdb.Oracle)
+	tier2 := gridrdb.NewEngine("tier2_mysql", gridrdb.MySQL)
+	for _, src := range []*gridrdb.Engine{tier1, tier2} {
+		if _, err := ntuple.NewGenerator(cfg).PopulateNormalized(src); err != nil {
+			log.Fatalf("populate %s: %v", src.Name(), err)
+		}
+	}
+	fmt.Printf("sources ready: %s, %s (%d events x %d vars each)\n",
+		tier1.Name(), tier2.Name(), cfg.NEvents, cfg.NVar)
+
+	// --- 2. Stage 1: ETL into the warehouse --------------------------
+	wh := gridrdb.NewEngine("tier0_warehouse", gridrdb.Oracle)
+	if err := warehouse.InitWarehouse(wh, wh.Dialect(), cfg); err != nil {
+		log.Fatal(err)
+	}
+	etl := warehouse.NewETL()
+	res, err := etl.RunStage1(tier1, cfg, wh, wh.Dialect())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stage 1: %d rows staged through %.1f kB temp file (extract %.1fms, load %.1fms)\n",
+		res.Rows, float64(res.Bytes)/1000,
+		res.ExtractTime.Seconds()*1000, res.LoadTime.Seconds()*1000)
+
+	// --- 3. Stage 2: views -> data marts ------------------------------
+	views := warehouse.RunViews(cfg, wh.Dialect())
+	if err := warehouse.CreateViews(wh, views); err != nil {
+		log.Fatal(err)
+	}
+	placements := []struct {
+		mart  *gridrdb.Engine
+		view  string
+		table string
+	}{
+		{gridrdb.NewEngine("mart_mysql", gridrdb.MySQL), views[0].Name, "higgs_run100"},
+		{gridrdb.NewEngine("mart_mssql", gridrdb.MSSQL), views[1].Name, "higgs_run101"},
+		{gridrdb.NewEngine("mart_oracle", gridrdb.Oracle), views[2].Name, "higgs_run102"},
+		// The SQLite mart holds a *replica* of the run-100 view (tier-3
+		// laptop use case), so cross-server replica validation has
+		// overlapping event ids to join on.
+		{gridrdb.NewEngine("mart_sqlite", gridrdb.SQLite), views[0].Name, "higgs_replica"},
+	}
+	for _, p := range placements {
+		if _, err := etl.Materialize(wh, p.view, cfg, p.mart, p.mart.Dialect(), p.table); err != nil {
+			log.Fatalf("materialize into %s: %v", p.mart.Name(), err)
+		}
+		fmt.Printf("stage 2: %s materialized into %s.%s (%s dialect)\n",
+			p.view, p.mart.Name(), p.table, p.mart.Dialect().Name)
+	}
+	marts := []*gridrdb.Engine{placements[0].mart, placements[1].mart, placements[2].mart, placements[3].mart}
+
+	// --- 4. Grid deployment: RLS + two JClarens servers --------------
+	grid := gridrdb.NewGrid()
+	defer grid.Close()
+	if _, err := grid.StartRLS(""); err != nil {
+		log.Fatal(err)
+	}
+	jc1, err := grid.AddServer(gridrdb.ServerConfig{Name: "jclarens-1", Open: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jc2, err := grid.AddServer(gridrdb.ServerConfig{Name: "jclarens-2", Open: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// jc1 hosts the MySQL + MS-SQL marts, jc2 the Oracle + SQLite ones.
+	for i, mart := range marts {
+		srv := jc1
+		if i >= 2 {
+			srv = jc2
+		}
+		if err := srv.AddMart(mart); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("grid up: RLS at %s, servers %s and %s\n", grid.RLSURL(), jc1.URL, jc2.URL)
+
+	// --- 5. Federated queries ----------------------------------------
+	qr, err := jc1.Query("SELECT COUNT(*) AS n, AVG(v0) AS mean_v0 FROM higgs_run100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlocal query via %s route:\n%s", qr.Route, gridrdb.FormatResult(qr.ResultSet))
+
+	// higgs_run102 lives on jc2; jc1 finds it through the RLS.
+	qr, err = jc1.Query("SELECT event_id, run, v0 FROM higgs_run102 WHERE v0 > 60 ORDER BY v0 DESC LIMIT 5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncross-server query via %s route (%d servers):\n%s",
+		qr.Route, qr.Servers, gridrdb.FormatResult(qr.ResultSet))
+
+	// A join spanning both servers: validate the tier-3 replica of the
+	// run-100 view against the primary mart.
+	qr, err = jc1.Query(`SELECT a.event_id, a.v0 AS v0_primary, b.v0 AS v0_replica
+	                     FROM higgs_run100 a JOIN higgs_replica b ON a.event_id = b.event_id
+	                     WHERE a.v0 > 55 ORDER BY a.v0 DESC LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncross-server replica-validation join via %s route (%d servers):\n%s",
+		qr.Route, qr.Servers, gridrdb.FormatResult(qr.ResultSet))
+}

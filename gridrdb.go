@@ -1,0 +1,248 @@
+// Package gridrdb is a Go reproduction of "Heterogeneous Relational
+// Databases for a Grid-enabled Analysis Environment" (Ali et al., ICPP
+// Workshops 2005): middleware that gives Grid clients a single virtual
+// view over geographically distributed, heterogeneous relational
+// databases.
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - sqlengine: an embedded relational engine instantiated per vendor
+//     dialect (Oracle, MySQL, MS-SQL, SQLite) — the substrate standing in
+//     for the real database products;
+//   - warehouse: the ETL pipeline (normalized sources -> denormalized star
+//     warehouse) and data-mart materialization;
+//   - unity + poolral: the two query-routing modules of the data access
+//     layer;
+//   - rls: the replica location service;
+//   - clarens + dataaccess: the JClarens web-service interface and the
+//     routing/integration core.
+//
+// A Grid value assembles a full deployment: one RLS catalog plus any
+// number of JClarens server instances, each hosting data marts. See
+// examples/quickstart for a complete walk-through.
+package gridrdb
+
+import (
+	"fmt"
+	"sync"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/netsim"
+	"gridrdb/internal/rls"
+	"gridrdb/internal/sqldriver"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// Re-exported value types so callers rarely need internal imports.
+type (
+	// Value is one SQL scalar.
+	Value = sqlengine.Value
+	// Row is one tuple.
+	Row = sqlengine.Row
+	// ResultSet is a materialized query result.
+	ResultSet = sqlengine.ResultSet
+	// Engine is one emulated database server.
+	Engine = sqlengine.Engine
+	// Dialect is a vendor SQL dialect.
+	Dialect = sqlengine.Dialect
+	// QueryResult is a routed query answer.
+	QueryResult = dataaccess.QueryResult
+	// SourceRef locates one member database.
+	SourceRef = xspec.SourceRef
+	// LowerSpec is a per-database XSpec document.
+	LowerSpec = xspec.LowerSpec
+)
+
+// Vendor dialects.
+var (
+	Oracle = sqlengine.DialectOracle
+	MySQL  = sqlengine.DialectMySQL
+	MSSQL  = sqlengine.DialectMSSQL
+	SQLite = sqlengine.DialectSQLite
+	ANSI   = sqlengine.DialectANSI
+)
+
+// Value constructors.
+var (
+	Int    = sqlengine.NewInt
+	Float  = sqlengine.NewFloat
+	String = sqlengine.NewString
+	Bool   = sqlengine.NewBool
+	Null   = sqlengine.Null
+)
+
+// NewEngine creates an emulated database of the given vendor dialect and
+// registers it for local:// DSN access.
+func NewEngine(name string, d *Dialect) *Engine {
+	e := sqlengine.NewEngine(name, d)
+	sqldriver.RegisterEngine(e)
+	return e
+}
+
+// GenerateXSpec introspects a live engine into its lower-level XSpec.
+func GenerateXSpec(e *Engine) (*LowerSpec, error) {
+	return xspec.Generate(e.Name(), e.Dialect().Name, e)
+}
+
+// FormatResult renders a result set as an aligned text table.
+func FormatResult(rs *ResultSet) string { return sqlengine.FormatResult(rs) }
+
+// ServerConfig configures one JClarens instance in a Grid.
+type ServerConfig struct {
+	// Name identifies the instance ("jclarens-tier2").
+	Name string
+	// Open disables authentication (the paper's test setup). When false,
+	// Users must be non-empty and clients must log in.
+	Open bool
+	// Users holds login credentials for non-open servers.
+	Users map[string]string
+	// Addr is the listen address; "" means 127.0.0.1:0.
+	Addr string
+	// Profile simulates network costs for this server's remote calls.
+	Profile *netsim.Profile
+}
+
+// Server is one running JClarens instance: the data access service plus
+// its XML-RPC front end.
+type Server struct {
+	Name    string
+	URL     string
+	Service *dataaccess.Service
+	Clarens *clarens.Server
+}
+
+// AddMart registers a data mart (an Engine previously created with
+// NewEngine, or any DSN-reachable database) with this server and publishes
+// its tables to the grid's RLS.
+func (s *Server) AddMart(e *Engine) error {
+	spec, err := GenerateXSpec(e)
+	if err != nil {
+		return err
+	}
+	ref := SourceRef{
+		Name:   e.Name(),
+		URL:    "local://" + e.Name(),
+		Driver: e.Dialect().DriverName,
+		XSpec:  e.Name() + ".xspec",
+	}
+	return s.Service.AddDatabase(ref, spec, "", "")
+}
+
+// Query runs a federated query on this server.
+func (s *Server) Query(sql string, params ...Value) (*QueryResult, error) {
+	return s.Service.Query(sql, params...)
+}
+
+// Client returns an XML-RPC client bound to this server.
+func (s *Server) Client() *clarens.Client { return clarens.NewClient(s.URL) }
+
+// Grid assembles a deployment: an RLS catalog plus JClarens servers.
+type Grid struct {
+	mu      sync.Mutex
+	rls     *rls.Server
+	rlsURL  string
+	servers []*Server
+}
+
+// NewGrid returns an empty deployment.
+func NewGrid() *Grid { return &Grid{} }
+
+// StartRLS launches the replica location service; addr "" binds an
+// ephemeral localhost port. It returns the catalog URL.
+func (g *Grid) StartRLS(addr string) (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.rls != nil {
+		return g.rlsURL, nil
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv := rls.NewServer(0)
+	url, err := srv.Start(addr)
+	if err != nil {
+		return "", err
+	}
+	g.rls, g.rlsURL = srv, url
+	return url, nil
+}
+
+// RLSURL returns the catalog URL ("" before StartRLS).
+func (g *Grid) RLSURL() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rlsURL
+}
+
+// AddServer starts a JClarens instance wired to the grid's RLS.
+func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
+	g.mu.Lock()
+	rlsURL := g.rlsURL
+	g.mu.Unlock()
+
+	dcfg := dataaccess.Config{Name: cfg.Name, Profile: cfg.Profile}
+	if rlsURL != "" {
+		c := rls.NewClient(rlsURL)
+		c.Profile = cfg.Profile
+		dcfg.RLS = c
+	}
+	svc := dataaccess.New(dcfg)
+	front := clarens.NewServer(cfg.Open)
+	for u, p := range cfg.Users {
+		front.AddUser(u, p)
+	}
+	if !cfg.Open && len(cfg.Users) == 0 {
+		svc.Close()
+		return nil, fmt.Errorf("gridrdb: server %q is closed but has no users", cfg.Name)
+	}
+	svc.RegisterMethods(front)
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	url, err := front.Start(addr)
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	svc.SetURL(url)
+	s := &Server{Name: cfg.Name, URL: url, Service: svc, Clarens: front}
+	g.mu.Lock()
+	g.servers = append(g.servers, s)
+	g.mu.Unlock()
+	return s, nil
+}
+
+// Servers lists the running instances.
+func (g *Grid) Servers() []*Server {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Server, len(g.servers))
+	copy(out, g.servers)
+	return out
+}
+
+// Close tears the whole deployment down.
+func (g *Grid) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var first error
+	for _, s := range g.servers {
+		if err := s.Service.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.Clarens.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	g.servers = nil
+	if g.rls != nil {
+		if err := g.rls.Close(); err != nil && first == nil {
+			first = err
+		}
+		g.rls = nil
+	}
+	return first
+}

@@ -1,0 +1,146 @@
+package gridrdb
+
+import (
+	"strings"
+	"testing"
+
+	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/sqldriver"
+)
+
+// buildGrid assembles the paper's two-server topology: jc1 hosts a MySQL
+// mart with events, jc2 hosts an MS-SQL mart with run metadata.
+func buildGrid(t *testing.T) (*Grid, *Server, *Server) {
+	t.Helper()
+	g := NewGrid()
+	if _, err := g.StartRLS(""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+
+	jc1, err := g.AddServer(ServerConfig{Name: "jc1", Open: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc2, err := g.AddServer(ServerConfig{Name: "jc2", Open: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs := NewEngine("g_events", MySQL)
+	t.Cleanup(func() { sqldriver.UnregisterEngine("g_events") })
+	if err := evs.ExecScript(
+		"CREATE TABLE `events` (`event_id` BIGINT PRIMARY KEY, `run` BIGINT, `e_tot` DOUBLE);" +
+			"INSERT INTO `events` VALUES (1,100,5.0),(2,100,6.0),(3,101,7.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jc1.AddMart(evs); err != nil {
+		t.Fatal(err)
+	}
+
+	runs := NewEngine("g_runs", MSSQL)
+	t.Cleanup(func() { sqldriver.UnregisterEngine("g_runs") })
+	if err := runs.ExecScript(
+		"CREATE TABLE [runsinfo] ([run] BIGINT PRIMARY KEY, [detector] NVARCHAR(16));" +
+			"INSERT INTO [runsinfo] VALUES (100,'CMS'),(101,'ATLAS')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jc2.AddMart(runs); err != nil {
+		t.Fatal(err)
+	}
+	return g, jc1, jc2
+}
+
+func TestGridLocalQuery(t *testing.T) {
+	_, jc1, _ := buildGrid(t)
+	qr, err := jc1.Query("SELECT event_id FROM events WHERE run = ?", Int(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 2 {
+		t.Fatalf("rows: %v", qr.Rows)
+	}
+}
+
+func TestGridCrossServerQuery(t *testing.T) {
+	_, jc1, _ := buildGrid(t)
+	// events lives on jc1, runsinfo on jc2: the query must traverse the
+	// RLS and both servers.
+	qr, err := jc1.Query("SELECT e.event_id, r.detector FROM events e JOIN runsinfo r ON e.run = r.run ORDER BY e.event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 3 || qr.Servers != 2 {
+		t.Fatalf("rows=%d servers=%d", len(qr.Rows), qr.Servers)
+	}
+	if qr.Rows[2][1].Str != "ATLAS" {
+		t.Fatalf("join content: %v", qr.Rows)
+	}
+}
+
+func TestGridXMLRPCClient(t *testing.T) {
+	_, _, jc2 := buildGrid(t)
+	c := jc2.Client()
+	res, err := c.Call("dataaccess.query", "SELECT detector FROM runsinfo ORDER BY run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := dataaccess.DecodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Str != "CMS" {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+}
+
+func TestGridAuthClosedServer(t *testing.T) {
+	g := NewGrid()
+	t.Cleanup(func() { g.Close() })
+	// A closed server without users is a config error.
+	if _, err := g.AddServer(ServerConfig{Name: "bad", Open: false}); err == nil {
+		t.Fatal("closed server without users accepted")
+	}
+	srv, err := g.AddServer(ServerConfig{Name: "sec", Open: false, Users: map[string]string{"u": "p"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := srv.Client()
+	if _, err := c.Call("dataaccess.tables"); err == nil {
+		t.Fatal("unauthenticated call accepted")
+	}
+	if err := c.Login("u", "p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("dataaccess.tables"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatResultFacade(t *testing.T) {
+	_, jc1, _ := buildGrid(t)
+	qr, err := jc1.Query("SELECT event_id, e_tot FROM events ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatResult(qr.ResultSet)
+	if !strings.Contains(out, "event_id") || !strings.Contains(out, "5") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestGridIdempotentRLS(t *testing.T) {
+	g := NewGrid()
+	t.Cleanup(func() { g.Close() })
+	u1, err := g.StartRLS("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := g.StartRLS("")
+	if err != nil || u1 != u2 {
+		t.Fatalf("second StartRLS: %q vs %q (%v)", u1, u2, err)
+	}
+	if g.RLSURL() != u1 {
+		t.Error("RLSURL mismatch")
+	}
+}

@@ -1,0 +1,314 @@
+package clarens
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gridrdb/internal/netsim"
+)
+
+// Method is one service endpoint. Args and the result use the XML-RPC
+// value family (nil, bool, int64, float64, string, time.Time, []byte,
+// []interface{}, map[string]interface{}).
+type Method func(ctx *CallContext, args []interface{}) (interface{}, error)
+
+// CallContext carries per-call information to methods.
+type CallContext struct {
+	// User is the authenticated user ("" when the server runs open).
+	User string
+	// Remote is the caller's address.
+	Remote string
+}
+
+// sessionHeader carries the session token on authenticated calls.
+const sessionHeader = "X-Clarens-Session"
+
+// Server is a JClarens-style XML-RPC service host.
+type Server struct {
+	mu       sync.RWMutex
+	methods  map[string]Method
+	users    map[string]string
+	sessions map[string]sessionInfo
+	open     bool // no authentication required
+	ln       net.Listener
+	srv      *http.Server
+	baseURL  string
+}
+
+type sessionInfo struct {
+	user    string
+	expires time.Time
+}
+
+// sessionTTL bounds how long a login is valid.
+const sessionTTL = time.Hour
+
+// NewServer creates a server. With open=true no login is required (the
+// paper's test deployment); otherwise clients must call system.login
+// first.
+func NewServer(open bool) *Server {
+	s := &Server{
+		methods:  make(map[string]Method),
+		users:    make(map[string]string),
+		sessions: make(map[string]sessionInfo),
+		open:     open,
+	}
+	s.Register("system.echo", func(_ *CallContext, args []interface{}) (interface{}, error) {
+		return args, nil
+	})
+	s.Register("system.listMethods", func(_ *CallContext, _ []interface{}) (interface{}, error) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var out []interface{}
+		for name := range s.methods {
+			out = append(out, name)
+		}
+		return out, nil
+	})
+	return s
+}
+
+// AddUser registers login credentials.
+func (s *Server) AddUser(user, password string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[user] = password
+}
+
+// Register installs a method under a dotted name ("dataaccess.query").
+func (s *Server) Register(name string, m Method) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.methods[name] = m
+}
+
+// BaseURL returns the server's base URL after Start.
+func (s *Server) BaseURL() string { return s.baseURL }
+
+// Start listens on addr and serves until Close; it returns the base URL.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	s.baseURL = "http://" + ln.Addr().String()
+	go s.srv.Serve(ln)
+	return s.baseURL, nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Handler returns the XML-RPC endpoint handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/RPC2", s.handleRPC)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r.Body)
+	r.Body.Close()
+	if err != nil {
+		s.writeFault(w, &Fault{Code: FaultParse, Message: err.Error()})
+		return
+	}
+	method, args, err := UnmarshalCall(body)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: FaultParse, Message: err.Error()})
+		return
+	}
+
+	// system.login is the only method reachable without a session.
+	if method == "system.login" {
+		s.handleLogin(w, args)
+		return
+	}
+
+	ctx := &CallContext{Remote: r.RemoteAddr}
+	if !s.open {
+		token := r.Header.Get(sessionHeader)
+		user, ok := s.checkSession(token)
+		if !ok {
+			s.writeFault(w, &Fault{Code: FaultAuth, Message: "authentication required (call system.login)"})
+			return
+		}
+		ctx.User = user
+	}
+
+	s.mu.RLock()
+	m, ok := s.methods[method]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeFault(w, &Fault{Code: FaultNoMethod, Message: fmt.Sprintf("no such method %q", method)})
+		return
+	}
+	result, err := m(ctx, args)
+	if err != nil {
+		if f, ok := err.(*Fault); ok {
+			s.writeFault(w, f)
+			return
+		}
+		s.writeFault(w, &Fault{Code: FaultApplication, Message: err.Error()})
+		return
+	}
+	resp, err := MarshalResponse(result)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: FaultApplication, Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(resp)
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, args []interface{}) {
+	if len(args) != 2 {
+		s.writeFault(w, &Fault{Code: FaultAuth, Message: "system.login requires (user, password)"})
+		return
+	}
+	user, _ := args[0].(string)
+	password, _ := args[1].(string)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pw, ok := s.users[user]; !ok || pw != password {
+		s.writeFaultLocked(w, &Fault{Code: FaultAuth, Message: "bad credentials"})
+		return
+	}
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		s.writeFaultLocked(w, &Fault{Code: FaultApplication, Message: err.Error()})
+		return
+	}
+	token := hex.EncodeToString(buf)
+	s.sessions[token] = sessionInfo{user: user, expires: time.Now().Add(sessionTTL)}
+	resp, _ := MarshalResponse(token)
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(resp)
+}
+
+func (s *Server) checkSession(token string) (string, bool) {
+	if token == "" {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.sessions[token]
+	if !ok {
+		return "", false
+	}
+	if time.Now().After(info.expires) {
+		delete(s.sessions, token)
+		return "", false
+	}
+	return info.user, true
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(MarshalFault(f))
+}
+
+// writeFaultLocked is writeFault for paths already holding s.mu.
+func (s *Server) writeFaultLocked(w http.ResponseWriter, f *Fault) {
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(MarshalFault(f))
+}
+
+// ---- client ----
+
+// Client is a lightweight Clarens client.
+type Client struct {
+	// BaseURL is the server base ("http://host:port").
+	BaseURL string
+	// HTTP allows a custom transport; nil uses a default with timeout.
+	HTTP *http.Client
+	// Profile/Clock charge simulated network costs per call.
+	Profile *netsim.Profile
+	Clock   *netsim.Clock
+
+	mu      sync.Mutex
+	session string
+}
+
+// NewClient returns a client for a server base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) clock() *netsim.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return netsim.DefaultClock
+}
+
+// Login authenticates and stores the session token for later calls.
+func (c *Client) Login(user, password string) error {
+	res, err := c.Call("system.login", user, password)
+	if err != nil {
+		return err
+	}
+	token, ok := res.(string)
+	if !ok {
+		return fmt.Errorf("clarens: unexpected login response %T", res)
+	}
+	c.mu.Lock()
+	c.session = token
+	c.mu.Unlock()
+	return nil
+}
+
+// Call invokes method with args and returns the decoded result.
+func (c *Client) Call(method string, args ...interface{}) (interface{}, error) {
+	body, err := MarshalCall(method, args)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/RPC2", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/xml")
+	c.mu.Lock()
+	if c.session != "" {
+		req.Header.Set(sessionHeader, c.session)
+	}
+	c.mu.Unlock()
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("clarens: call %s: %w", method, err)
+	}
+	defer resp.Body.Close()
+	data, err := readBody(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Profile != nil {
+		c.clock().RoundTrip(c.Profile, int64(len(body)+len(data)))
+	}
+	return UnmarshalResponse(data)
+}

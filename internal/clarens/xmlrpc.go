@@ -1,0 +1,328 @@
+// Package clarens reimplements the Clarens/JClarens web-service layer the
+// paper builds its interface on: an XML-RPC server multiplexing named
+// service methods over HTTP, with session-based authentication, and a
+// matching lightweight client. The data access service (§4.5) registers
+// its methods on this server; "all kinds of (simple and) complex clients"
+// reach the middleware through it.
+package clarens
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault is an XML-RPC fault response.
+type Fault struct {
+	Code    int
+	Message string
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string { return fmt.Sprintf("clarens: fault %d: %s", f.Code, f.Message) }
+
+// Fault codes used by the server.
+const (
+	FaultParse       = 100
+	FaultNoMethod    = 101
+	FaultAuth        = 102
+	FaultApplication = 103
+)
+
+// ---- encoding ----
+
+// Values passed through XML-RPC are a closed family: nil, bool, int64,
+// float64, string, time.Time, []byte, []interface{} and
+// map[string]interface{}.
+
+func encodeValue(sb *bytes.Buffer, v interface{}) error {
+	sb.WriteString("<value>")
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("<nil/>")
+	case bool:
+		if x {
+			sb.WriteString("<boolean>1</boolean>")
+		} else {
+			sb.WriteString("<boolean>0</boolean>")
+		}
+	case int:
+		fmt.Fprintf(sb, "<i8>%d</i8>", x)
+	case int64:
+		fmt.Fprintf(sb, "<i8>%d</i8>", x)
+	case float64:
+		fmt.Fprintf(sb, "<double>%s</double>", strconv.FormatFloat(x, 'g', -1, 64))
+	case string:
+		sb.WriteString("<string>")
+		xml.EscapeText(sb, []byte(x))
+		sb.WriteString("</string>")
+	case time.Time:
+		fmt.Fprintf(sb, "<dateTime.iso8601>%s</dateTime.iso8601>", x.UTC().Format("20060102T15:04:05"))
+	case []byte:
+		sb.WriteString("<base64>")
+		sb.WriteString(base64.StdEncoding.EncodeToString(x))
+		sb.WriteString("</base64>")
+	case []interface{}:
+		sb.WriteString("<array><data>")
+		for _, e := range x {
+			if err := encodeValue(sb, e); err != nil {
+				return err
+			}
+		}
+		sb.WriteString("</data></array>")
+	case []string:
+		sb.WriteString("<array><data>")
+		for _, e := range x {
+			if err := encodeValue(sb, e); err != nil {
+				return err
+			}
+		}
+		sb.WriteString("</data></array>")
+	case map[string]interface{}:
+		sb.WriteString("<struct>")
+		for k, e := range x {
+			sb.WriteString("<member><name>")
+			xml.EscapeText(sb, []byte(k))
+			sb.WriteString("</name>")
+			if err := encodeValue(sb, e); err != nil {
+				return err
+			}
+			sb.WriteString("</member>")
+		}
+		sb.WriteString("</struct>")
+	default:
+		return fmt.Errorf("clarens: cannot encode %T in XML-RPC", v)
+	}
+	sb.WriteString("</value>")
+	return nil
+}
+
+// MarshalCall renders a methodCall document.
+func MarshalCall(method string, args []interface{}) ([]byte, error) {
+	var sb bytes.Buffer
+	sb.WriteString(xml.Header)
+	sb.WriteString("<methodCall><methodName>")
+	xml.EscapeText(&sb, []byte(method))
+	sb.WriteString("</methodName><params>")
+	for _, a := range args {
+		sb.WriteString("<param>")
+		if err := encodeValue(&sb, a); err != nil {
+			return nil, err
+		}
+		sb.WriteString("</param>")
+	}
+	sb.WriteString("</params></methodCall>")
+	return sb.Bytes(), nil
+}
+
+// MarshalResponse renders a methodResponse document for a result value.
+func MarshalResponse(result interface{}) ([]byte, error) {
+	var sb bytes.Buffer
+	sb.WriteString(xml.Header)
+	sb.WriteString("<methodResponse><params><param>")
+	if err := encodeValue(&sb, result); err != nil {
+		return nil, err
+	}
+	sb.WriteString("</param></params></methodResponse>")
+	return sb.Bytes(), nil
+}
+
+// MarshalFault renders a methodResponse fault document.
+func MarshalFault(f *Fault) []byte {
+	var sb bytes.Buffer
+	sb.WriteString(xml.Header)
+	sb.WriteString("<methodResponse><fault>")
+	encodeValue(&sb, map[string]interface{}{
+		"faultCode":   int64(f.Code),
+		"faultString": f.Message,
+	})
+	sb.WriteString("</fault></methodResponse>")
+	return sb.Bytes()
+}
+
+// ---- decoding ----
+
+// xNode mirrors the generic XML tree of an XML-RPC document.
+type xNode struct {
+	XMLName  xml.Name
+	Content  string  `xml:",chardata"`
+	Children []xNode `xml:",any"`
+}
+
+func (n *xNode) child(name string) *xNode {
+	for i := range n.Children {
+		if n.Children[i].XMLName.Local == name {
+			return &n.Children[i]
+		}
+	}
+	return nil
+}
+
+func decodeValue(n *xNode) (interface{}, error) {
+	if len(n.Children) == 0 {
+		// Bare text inside <value> is a string per the XML-RPC spec.
+		return n.Content, nil
+	}
+	t := &n.Children[0]
+	switch t.XMLName.Local {
+	case "nil":
+		return nil, nil
+	case "boolean":
+		return strings.TrimSpace(t.Content) == "1", nil
+	case "i4", "int", "i8":
+		v, err := strconv.ParseInt(strings.TrimSpace(t.Content), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("clarens: bad integer %q", t.Content)
+		}
+		return v, nil
+	case "double":
+		v, err := strconv.ParseFloat(strings.TrimSpace(t.Content), 64)
+		if err != nil {
+			return nil, fmt.Errorf("clarens: bad double %q", t.Content)
+		}
+		return v, nil
+	case "string":
+		return t.Content, nil
+	case "dateTime.iso8601":
+		v, err := time.Parse("20060102T15:04:05", strings.TrimSpace(t.Content))
+		if err != nil {
+			return nil, fmt.Errorf("clarens: bad dateTime %q", t.Content)
+		}
+		return v.UTC(), nil
+	case "base64":
+		v, err := base64.StdEncoding.DecodeString(strings.TrimSpace(t.Content))
+		if err != nil {
+			return nil, fmt.Errorf("clarens: bad base64: %v", err)
+		}
+		return v, nil
+	case "array":
+		data := t.child("data")
+		if data == nil {
+			return []interface{}{}, nil
+		}
+		out := make([]interface{}, 0, len(data.Children))
+		for i := range data.Children {
+			if data.Children[i].XMLName.Local != "value" {
+				continue
+			}
+			v, err := decodeValue(&data.Children[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case "struct":
+		out := make(map[string]interface{})
+		for i := range t.Children {
+			m := &t.Children[i]
+			if m.XMLName.Local != "member" {
+				continue
+			}
+			nameNode := m.child("name")
+			valNode := m.child("value")
+			if nameNode == nil || valNode == nil {
+				return nil, fmt.Errorf("clarens: malformed struct member")
+			}
+			v, err := decodeValue(valNode)
+			if err != nil {
+				return nil, err
+			}
+			out[nameNode.Content] = v
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("clarens: unknown XML-RPC type <%s>", t.XMLName.Local)
+}
+
+// UnmarshalCall parses a methodCall document into (method, args).
+func UnmarshalCall(data []byte) (string, []interface{}, error) {
+	var root xNode
+	if err := xml.Unmarshal(data, &root); err != nil {
+		return "", nil, fmt.Errorf("clarens: parse call: %w", err)
+	}
+	if root.XMLName.Local != "methodCall" {
+		return "", nil, fmt.Errorf("clarens: expected <methodCall>, got <%s>", root.XMLName.Local)
+	}
+	nameNode := root.child("methodName")
+	if nameNode == nil {
+		return "", nil, fmt.Errorf("clarens: missing <methodName>")
+	}
+	method := strings.TrimSpace(nameNode.Content)
+	var args []interface{}
+	if params := root.child("params"); params != nil {
+		for i := range params.Children {
+			p := &params.Children[i]
+			if p.XMLName.Local != "param" {
+				continue
+			}
+			valNode := p.child("value")
+			if valNode == nil {
+				return "", nil, fmt.Errorf("clarens: param without value")
+			}
+			v, err := decodeValue(valNode)
+			if err != nil {
+				return "", nil, err
+			}
+			args = append(args, v)
+		}
+	}
+	return method, args, nil
+}
+
+// UnmarshalResponse parses a methodResponse document, returning the result
+// value or a *Fault error.
+func UnmarshalResponse(data []byte) (interface{}, error) {
+	var root xNode
+	if err := xml.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("clarens: parse response: %w", err)
+	}
+	if root.XMLName.Local != "methodResponse" {
+		return nil, fmt.Errorf("clarens: expected <methodResponse>, got <%s>", root.XMLName.Local)
+	}
+	if f := root.child("fault"); f != nil {
+		valNode := f.child("value")
+		if valNode == nil {
+			return nil, &Fault{Code: FaultParse, Message: "malformed fault"}
+		}
+		v, err := decodeValue(valNode)
+		if err != nil {
+			return nil, err
+		}
+		m, _ := v.(map[string]interface{})
+		fault := &Fault{Code: FaultApplication, Message: "unknown fault"}
+		if c, ok := m["faultCode"].(int64); ok {
+			fault.Code = int(c)
+		}
+		if s, ok := m["faultString"].(string); ok {
+			fault.Message = s
+		}
+		return nil, fault
+	}
+	params := root.child("params")
+	if params == nil {
+		return nil, nil
+	}
+	for i := range params.Children {
+		p := &params.Children[i]
+		if p.XMLName.Local != "param" {
+			continue
+		}
+		valNode := p.child("value")
+		if valNode == nil {
+			return nil, fmt.Errorf("clarens: param without value")
+		}
+		return decodeValue(valNode)
+	}
+	return nil, nil
+}
+
+// readBody reads a bounded request/response body.
+func readBody(r io.Reader) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r, 64<<20))
+}

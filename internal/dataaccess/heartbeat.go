@@ -1,0 +1,72 @@
+package dataaccess
+
+import (
+	"sync"
+	"time"
+)
+
+// Heartbeat periodically republishes this instance's hosted tables to the
+// RLS so soft-state registrations never expire while the server is alive
+// (Globus RLS-style renewal; crashed servers age out after the catalog
+// TTL).
+type Heartbeat struct {
+	svc      *Service
+	interval time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	renewals int64
+	lastErr  error
+}
+
+// NewHeartbeat creates a renewal loop; choose interval well below the RLS
+// server's TTL (e.g. TTL/3).
+func NewHeartbeat(svc *Service, interval time.Duration) *Heartbeat {
+	return &Heartbeat{svc: svc, interval: interval, stop: make(chan struct{})}
+}
+
+// Start launches the renewal loop; a no-op when interval <= 0.
+func (h *Heartbeat) Start() {
+	if h.interval <= 0 {
+		return
+	}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		ticker := time.NewTicker(h.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-ticker.C:
+				h.RenewNow()
+			}
+		}
+	}()
+}
+
+// RenewNow republishes immediately and records the outcome.
+func (h *Heartbeat) RenewNow() error {
+	err := h.svc.PublishAll()
+	h.mu.Lock()
+	h.renewals++
+	h.lastErr = err
+	h.mu.Unlock()
+	return err
+}
+
+// Stats reports (renewals performed, last error).
+func (h *Heartbeat) Stats() (int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.renewals, h.lastErr
+}
+
+// Stop halts the loop.
+func (h *Heartbeat) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.wg.Wait()
+}

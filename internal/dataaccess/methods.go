@@ -1,0 +1,190 @@
+package dataaccess
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// RegisterMethods installs the data access service's methods on a Clarens
+// server, forming the web-service interface of the paper:
+//
+//	dataaccess.query(sql)                     -> {columns, rows}
+//	dataaccess.tables()                       -> [logical names]
+//	dataaccess.schema(table)                  -> {columns: [{name,kind,...}]}
+//	dataaccess.addDatabase(xspecURL, driver, url [, user, password])
+//	dataaccess.removeDatabase(name)
+//	dataaccess.sources()                      -> [source names]
+func (s *Service) RegisterMethods(srv *clarens.Server) {
+	srv.Register("dataaccess.query", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) < 1 {
+			return nil, fmt.Errorf("dataaccess.query requires (sql [, params...])")
+		}
+		sqlText, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("dataaccess.query: sql must be a string")
+		}
+		params, err := xmlrpcParams(args[1:])
+		if err != nil {
+			return nil, err
+		}
+		qr, err := s.Query(sqlText, params...)
+		if err != nil {
+			return nil, err
+		}
+		res := EncodeResult(qr.ResultSet)
+		res["route"] = string(qr.Route)
+		res["servers"] = int64(qr.Servers)
+		return res, nil
+	})
+
+	srv.Register("dataaccess.tables", func(_ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		names := s.fed.Dictionary().LogicalTables()
+		out := make([]interface{}, len(names))
+		for i, n := range names {
+			out[i] = n
+		}
+		return out, nil
+	})
+
+	srv.Register("dataaccess.schema", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("dataaccess.schema requires (table)")
+		}
+		table, _ := args[0].(string)
+		locs := s.fed.Dictionary().Lookup(table)
+		if len(locs) == 0 {
+			return nil, fmt.Errorf("dataaccess: unknown table %q", table)
+		}
+		spec := locs[0].Spec
+		cols := make([]interface{}, len(spec.Columns))
+		for i, c := range spec.Columns {
+			cols[i] = map[string]interface{}{
+				"name":     c.Logical,
+				"physical": c.Name,
+				"kind":     c.Kind,
+				"nullable": c.Nullable,
+				"key":      c.Key,
+			}
+		}
+		return map[string]interface{}{
+			"table":    table,
+			"replicas": int64(len(locs)),
+			"columns":  cols,
+		}, nil
+	})
+
+	srv.Register("dataaccess.addDatabase", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) < 3 {
+			return nil, fmt.Errorf("dataaccess.addDatabase requires (xspecURL, driver, url [, user, password])")
+		}
+		xspecURL, _ := args[0].(string)
+		driver, _ := args[1].(string)
+		url, _ := args[2].(string)
+		user, password := "", ""
+		if len(args) >= 5 {
+			user, _ = args[3].(string)
+			password, _ = args[4].(string)
+		}
+		name, err := s.PlugIn(xspecURL, driver, url, user, password)
+		if err != nil {
+			return nil, err
+		}
+		return name, nil
+	})
+
+	srv.Register("dataaccess.removeDatabase", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("dataaccess.removeDatabase requires (name)")
+		}
+		name, _ := args[0].(string)
+		if err := s.RemoveDatabase(name); err != nil {
+			return nil, err
+		}
+		return true, nil
+	})
+
+	srv.Register("dataaccess.sources", func(_ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		names := s.fed.Sources()
+		out := make([]interface{}, len(names))
+		for i, n := range names {
+			out[i] = n
+		}
+		return out, nil
+	})
+}
+
+func xmlrpcParams(args []interface{}) ([]sqlengine.Value, error) {
+	out := make([]sqlengine.Value, len(args))
+	for i, a := range args {
+		switch x := a.(type) {
+		case nil:
+			out[i] = sqlengine.Null()
+		case int64:
+			out[i] = sqlengine.NewInt(x)
+		case float64:
+			out[i] = sqlengine.NewFloat(x)
+		case string:
+			out[i] = sqlengine.NewString(x)
+		case bool:
+			out[i] = sqlengine.NewBool(x)
+		case time.Time:
+			out[i] = sqlengine.NewTime(x)
+		case []byte:
+			out[i] = sqlengine.NewBytes(x)
+		default:
+			return nil, fmt.Errorf("dataaccess: unsupported parameter type %T", a)
+		}
+	}
+	return out, nil
+}
+
+// PlugIn implements §4.10: given the URL of a database's XSpec file, the
+// driver name and the database location, download and parse the spec,
+// connect with the right driver, and register the database's tables.
+// XSpec URLs may be http(s):// or file:// (or bare paths).
+func (s *Service) PlugIn(xspecURL, driver, dbURL, user, password string) (string, error) {
+	data, err := fetchSpec(xspecURL)
+	if err != nil {
+		return "", fmt.Errorf("dataaccess: fetch xspec: %w", err)
+	}
+	spec, err := xspec.ParseLower(data)
+	if err != nil {
+		return "", err
+	}
+	if spec.Name == "" {
+		return "", fmt.Errorf("dataaccess: xspec at %s has no database name", xspecURL)
+	}
+	ref := xspec.SourceRef{Name: spec.Name, URL: dbURL, Driver: driver, XSpec: xspecURL}
+	if err := s.AddDatabase(ref, spec, user, password); err != nil {
+		return "", err
+	}
+	return spec.Name, nil
+}
+
+func fetchSpec(url string) ([]byte, error) {
+	switch {
+	case strings.HasPrefix(url, "http://") || strings.HasPrefix(url, "https://"):
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	case strings.HasPrefix(url, "file://"):
+		return os.ReadFile(strings.TrimPrefix(url, "file://"))
+	default:
+		return os.ReadFile(url)
+	}
+}

@@ -1,0 +1,456 @@
+// Package dataaccess implements the paper's data access layer (§4.5): the
+// JClarens-hosted service that receives SQL over logical names, decides
+// per query whether to route through the POOL-RAL module (databases whose
+// vendor POOL supports) or the Unity/JDBC module (everything else), and —
+// when a requested table is not registered locally — consults the Replica
+// Location Service and forwards sub-queries to the remote JClarens
+// instance that hosts it, integrating all partial results into one
+// consistent answer. It also hosts the runtime features of §4.9 (schema-
+// change tracking) and §4.10 (plug-in databases).
+package dataaccess
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/netsim"
+	"gridrdb/internal/poolral"
+	"gridrdb/internal/rls"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/unity"
+	"gridrdb/internal/xspec"
+)
+
+// Config configures one service instance.
+type Config struct {
+	// Name identifies this JClarens instance.
+	Name string
+	// URL is the advertised base URL published to the RLS (set after the
+	// Clarens server starts).
+	URL string
+	// RLS is the replica catalog client; nil disables remote forwarding.
+	RLS *rls.Client
+	// Profile/Clock charge simulated network costs on remote forwards.
+	Profile *netsim.Profile
+	Clock   *netsim.Clock
+	// DisableRAL forces every query through the Unity path (used by the
+	// routing ablation).
+	DisableRAL bool
+}
+
+// Route identifies which module answered a query (§4.5's two modules plus
+// the remote path).
+type Route string
+
+// The possible routes.
+const (
+	RoutePOOLRAL Route = "pool-ral"
+	RouteUnity   Route = "unity"
+	RouteRemote  Route = "remote"
+	RouteMixed   Route = "mixed"
+)
+
+// Stats counts routing decisions.
+type Stats struct {
+	Queries    atomic.Int64
+	RAL        atomic.Int64
+	Unity      atomic.Int64
+	Forwarded  atomic.Int64
+	Mixed      atomic.Int64
+	RLSLookups atomic.Int64
+}
+
+// Service is one data access service instance.
+type Service struct {
+	cfg Config
+	fed *unity.Federation
+	ral *poolral.RAL
+
+	mu      sync.Mutex
+	remotes map[string]*clarens.Client
+	// ralConns maps source name -> RAL connection string for POOL-
+	// supported sources.
+	ralConns map[string]string
+
+	stats Stats
+}
+
+// New creates an empty service; add databases with AddDatabase.
+func New(cfg Config) *Service {
+	return &Service{
+		cfg:      cfg,
+		fed:      mustEmptyFederation(),
+		ral:      poolral.New(),
+		remotes:  make(map[string]*clarens.Client),
+		ralConns: make(map[string]string),
+	}
+}
+
+func mustEmptyFederation() *unity.Federation {
+	f, err := unity.Open(&xspec.UpperSpec{Name: "empty"}, nil)
+	if err != nil {
+		panic(err) // cannot happen: empty spec
+	}
+	return f
+}
+
+// Federation exposes the underlying Unity federation.
+func (s *Service) Federation() *unity.Federation { return s.fed }
+
+// Stats returns the routing counters.
+func (s *Service) Stats() *Stats { return &s.stats }
+
+// SetURL records the advertised URL (after the Clarens server binds).
+func (s *Service) SetURL(url string) { s.cfg.URL = url }
+
+// AddDatabase registers a database (data mart) with this instance: the
+// federation learns its tables, the POOL-RAL initializes a handle when the
+// vendor is supported, and the tables are published to the RLS.
+func (s *Service) AddDatabase(ref xspec.SourceRef, spec *xspec.LowerSpec, user, password string) error {
+	if err := s.fed.AddSource(ref, spec); err != nil {
+		return err
+	}
+	vendor := unity.VendorFromDriver(ref.Driver)
+	if poolral.Supported(vendor) && !s.cfg.DisableRAL {
+		conn := vendor + ":" + ref.URL
+		if err := s.ral.InitHandler(conn, user, password); err != nil {
+			s.fed.RemoveSource(ref.Name)
+			return fmt.Errorf("dataaccess: RAL init for %q: %w", ref.Name, err)
+		}
+		s.mu.Lock()
+		s.ralConns[ref.Name] = conn
+		s.mu.Unlock()
+	}
+	return s.publishTables(spec)
+}
+
+// RemoveDatabase unplugs a database.
+func (s *Service) RemoveDatabase(name string) error {
+	if err := s.fed.RemoveSource(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.ralConns, name)
+	s.mu.Unlock()
+	return nil
+}
+
+// publishTables announces a spec's tables to the RLS (§4.8: "each service
+// instance publishes information about the databases and the tables it is
+// hosting").
+func (s *Service) publishTables(spec *xspec.LowerSpec) error {
+	if s.cfg.RLS == nil || s.cfg.URL == "" {
+		return nil
+	}
+	var tables []string
+	for _, t := range spec.Tables {
+		logical := t.Logical
+		if logical == "" {
+			logical = t.Name
+		}
+		tables = append(tables, logical)
+	}
+	if len(tables) == 0 {
+		return nil
+	}
+	return s.cfg.RLS.Publish(s.cfg.URL, tables)
+}
+
+// PublishAll republishes every hosted table (used after schema changes and
+// for RLS TTL renewal).
+func (s *Service) PublishAll() error {
+	dict := s.fed.Dictionary()
+	tables := dict.LogicalTables()
+	if len(tables) == 0 || s.cfg.RLS == nil || s.cfg.URL == "" {
+		return nil
+	}
+	return s.cfg.RLS.Publish(s.cfg.URL, tables)
+}
+
+// Close releases all connections.
+func (s *Service) Close() error {
+	if s.cfg.RLS != nil && s.cfg.URL != "" {
+		s.cfg.RLS.Unpublish(s.cfg.URL, nil)
+	}
+	err1 := s.fed.Close()
+	err2 := s.ral.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// QueryResult bundles the merged rows with the route that produced them.
+type QueryResult struct {
+	*sqlengine.ResultSet
+	Route Route
+	// Servers is the number of Clarens servers involved (1 = local only).
+	Servers int
+}
+
+// Query is the service entry point: parse, route, execute, integrate.
+func (s *Service) Query(sqlText string, params ...sqlengine.Value) (*QueryResult, error) {
+	s.stats.Queries.Add(1)
+
+	// Fast path: every table is registered locally.
+	plan, err := s.fed.PlanQuery(sqlText)
+	var unknown *unity.ErrUnknownTable
+	switch {
+	case err == nil:
+		return s.queryLocal(sqlText, plan, params)
+	case errors.As(err, &unknown):
+		return s.queryWithRemote(sqlText, params)
+	default:
+		return nil, err
+	}
+}
+
+// queryLocal routes a fully-local query to POOL-RAL or Unity (§4.5: "the
+// data access layer decides which of the two modules to forward the query
+// to by finding out which databases are to be queried").
+func (s *Service) queryLocal(sqlText string, plan *unity.Plan, params []sqlengine.Value) (*QueryResult, error) {
+	if !s.cfg.DisableRAL && len(params) == 0 {
+		if parts, ok, err := s.fed.ExtractRALParts(sqlText); err == nil && ok {
+			s.mu.Lock()
+			conn, supported := s.ralConns[parts.Source]
+			s.mu.Unlock()
+			if supported {
+				rs, err := s.ral.QueryValues(conn, parts.Fields, parts.Tables, parts.Where)
+				if err != nil {
+					return nil, err
+				}
+				s.stats.RAL.Add(1)
+				return &QueryResult{ResultSet: rs, Route: RoutePOOLRAL, Servers: 1}, nil
+			}
+		}
+	}
+	rs, err := s.fed.Execute(plan, params...)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Unity.Add(1)
+	return &QueryResult{ResultSet: rs, Route: RouteUnity, Servers: 1}, nil
+}
+
+// queryWithRemote handles queries touching tables this instance does not
+// host: RLS lookup, then either whole-query forwarding (all tables on one
+// remote server) or per-table fetch + local integration.
+func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*QueryResult, error) {
+	if s.cfg.RLS == nil {
+		return nil, fmt.Errorf("dataaccess: query references unregistered tables and no RLS is configured")
+	}
+	tables, sel, err := unity.TablesInQuery(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	local := map[string]bool{}
+	remoteHost := map[string]string{} // table -> chosen server URL
+	for _, t := range tables {
+		if s.fed.HasTable(t) {
+			local[t] = true
+			continue
+		}
+		s.stats.RLSLookups.Add(1)
+		servers, err := s.cfg.RLS.Lookup(t)
+		if err != nil {
+			return nil, err
+		}
+		// Never forward to ourselves (stale RLS entries).
+		servers = without(servers, s.cfg.URL)
+		if len(servers) == 0 {
+			return nil, fmt.Errorf("dataaccess: table %q is not registered locally and the RLS knows no server for it", t)
+		}
+		remoteHost[t] = servers[0]
+	}
+
+	// All tables on one remote server: forward the whole query there.
+	if len(local) == 0 {
+		single := ""
+		same := true
+		for _, url := range remoteHost {
+			if single == "" {
+				single = url
+			} else if single != url {
+				same = false
+				break
+			}
+		}
+		if same && len(params) == 0 {
+			rs, err := s.forward(single, sqlText)
+			if err != nil {
+				return nil, err
+			}
+			s.stats.Forwarded.Add(1)
+			return &QueryResult{ResultSet: rs, Route: RouteRemote, Servers: 2}, nil
+		}
+	}
+
+	// Mixed: fetch each table (local federation or remote server), then
+	// integrate on a scratch engine with the original query.
+	scratch := sqlengine.NewEngine("dataaccess-scratch", sqlengine.DialectANSI)
+	serversTouched := map[string]bool{}
+	for _, t := range tables {
+		fetch := unity.RemoteFetchSQL(sel, t)
+		var rs *sqlengine.ResultSet
+		var err error
+		if local[t] {
+			rs, err = s.fed.Query(fetch)
+		} else {
+			rs, err = s.forward(remoteHost[t], fetch)
+			serversTouched[remoteHost[t]] = true
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := loadScratch(scratch, t, rs); err != nil {
+			return nil, err
+		}
+	}
+	sess := scratch.NewSession()
+	rs, _, err := sess.RunStmt(sel, params)
+	if err != nil {
+		return nil, fmt.Errorf("dataaccess: integration: %w", err)
+	}
+	s.stats.Mixed.Add(1)
+	return &QueryResult{ResultSet: rs, Route: RouteMixed, Servers: 1 + len(serversTouched)}, nil
+}
+
+func without(ss []string, drop string) []string {
+	out := ss[:0:0]
+	for _, s := range ss {
+		if s != drop {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// loadScratch creates a scratch table named t with columns inferred from
+// the result set and loads the rows.
+func loadScratch(scratch *sqlengine.Engine, t string, rs *sqlengine.ResultSet) error {
+	cols := make([]sqlengine.ColumnDef, len(rs.Columns))
+	for i, c := range rs.Columns {
+		kind := sqlengine.KindString
+		for _, row := range rs.Rows {
+			if i < len(row) && !row[i].IsNull() {
+				kind = row[i].Kind
+				break
+			}
+		}
+		cols[i] = sqlengine.ColumnDef{Name: strings.ToLower(c), Type: sqlengine.ColumnType{Kind: kind}}
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("dataaccess: remote table %q returned no columns", t)
+	}
+	if _, err := scratch.Exec(sqlengine.DialectANSI.CreateTableSQL(t, cols, nil)); err != nil {
+		return err
+	}
+	_, err := scratch.InsertRows(t, rs.Rows)
+	return err
+}
+
+// forward sends a query to a remote JClarens instance over XML-RPC.
+func (s *Service) forward(serverURL, sqlText string) (*sqlengine.ResultSet, error) {
+	c := s.remoteClient(serverURL)
+	res, err := c.Call("dataaccess.query", sqlText)
+	if err != nil {
+		return nil, fmt.Errorf("dataaccess: forward to %s: %w", serverURL, err)
+	}
+	return DecodeResult(res)
+}
+
+func (s *Service) remoteClient(serverURL string) *clarens.Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.remotes[serverURL]; ok {
+		return c
+	}
+	c := clarens.NewClient(serverURL)
+	c.Profile = s.cfg.Profile
+	c.Clock = s.cfg.Clock
+	s.remotes[serverURL] = c
+	return c
+}
+
+// ---- XML-RPC result codec (shared with the Clarens method layer) ----
+
+// EncodeResult converts a result set to the XML-RPC value family.
+func EncodeResult(rs *sqlengine.ResultSet) map[string]interface{} {
+	cols := make([]interface{}, len(rs.Columns))
+	for i, c := range rs.Columns {
+		cols[i] = c
+	}
+	rows := make([]interface{}, len(rs.Rows))
+	for i, row := range rs.Rows {
+		r := make([]interface{}, len(row))
+		for j, v := range row {
+			switch v.Kind {
+			case sqlengine.KindNull:
+				r[j] = nil
+			case sqlengine.KindInt:
+				r[j] = v.Int
+			case sqlengine.KindFloat:
+				r[j] = v.Float
+			case sqlengine.KindString:
+				r[j] = v.Str
+			case sqlengine.KindBool:
+				r[j] = v.Bool
+			case sqlengine.KindTime:
+				r[j] = v.Time
+			case sqlengine.KindBytes:
+				r[j] = v.Bytes
+			}
+		}
+		rows[i] = r
+	}
+	return map[string]interface{}{"columns": cols, "rows": rows}
+}
+
+// DecodeResult converts an XML-RPC result back to a result set.
+func DecodeResult(v interface{}) (*sqlengine.ResultSet, error) {
+	m, ok := v.(map[string]interface{})
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: unexpected result shape %T", v)
+	}
+	rs := &sqlengine.ResultSet{}
+	cols, _ := m["columns"].([]interface{})
+	for _, c := range cols {
+		name, _ := c.(string)
+		rs.Columns = append(rs.Columns, name)
+	}
+	rows, _ := m["rows"].([]interface{})
+	for _, ri := range rows {
+		cells, ok := ri.([]interface{})
+		if !ok {
+			return nil, fmt.Errorf("dataaccess: unexpected row shape %T", ri)
+		}
+		row := make(sqlengine.Row, len(cells))
+		for j, cell := range cells {
+			switch x := cell.(type) {
+			case nil:
+				row[j] = sqlengine.Null()
+			case int64:
+				row[j] = sqlengine.NewInt(x)
+			case float64:
+				row[j] = sqlengine.NewFloat(x)
+			case string:
+				row[j] = sqlengine.NewString(x)
+			case bool:
+				row[j] = sqlengine.NewBool(x)
+			case time.Time:
+				row[j] = sqlengine.NewTime(x)
+			case []byte:
+				row[j] = sqlengine.NewBytes(x)
+			default:
+				return nil, fmt.Errorf("dataaccess: unexpected cell type %T", cell)
+			}
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, nil
+}

@@ -1,0 +1,150 @@
+package dataaccess
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/unity"
+	"gridrdb/internal/xspec"
+)
+
+// Tracker implements §4.9: "after a fixed interval of time, a thread is
+// run against the back-end databases to generate a new XSpec for each
+// database. The size of the newly created XSpec is compared against the
+// size of the older XSpec file. If the sizes are equal, the files are
+// compared using their md5 sums. If there is any change ... the older
+// version of the XSpec is replaced by the new one [and] the server then
+// uses the new XSpec file to update the schema."
+type Tracker struct {
+	svc      *Service
+	interval time.Duration
+
+	mu    sync.Mutex
+	known map[string]xspec.Fingerprint
+
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	checks  atomic.Int64
+	updates atomic.Int64
+}
+
+// NewTracker creates a tracker for a service; interval <= 0 means the
+// tracker only runs on explicit CheckNow calls (useful for tests).
+func NewTracker(svc *Service, interval time.Duration) *Tracker {
+	return &Tracker{
+		svc:      svc,
+		interval: interval,
+		known:    make(map[string]xspec.Fingerprint),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start launches the periodic regeneration thread.
+func (t *Tracker) Start() {
+	if t.interval <= 0 {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		ticker := time.NewTicker(t.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-ticker.C:
+				t.CheckNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the periodic thread.
+func (t *Tracker) Stop() {
+	t.stopped.Do(func() { close(t.stop) })
+	t.wg.Wait()
+}
+
+// Stats reports (checks performed, schema updates applied).
+func (t *Tracker) Stats() (checks, updates int64) {
+	return t.checks.Load(), t.updates.Load()
+}
+
+// CheckNow regenerates the XSpec of every source and hot-reloads any whose
+// fingerprint changed. It returns the names of updated sources.
+func (t *Tracker) CheckNow() ([]string, error) {
+	t.checks.Add(1)
+	var updated []string
+	var firstErr error
+	for _, name := range t.svc.fed.Sources() {
+		changed, err := t.checkSource(name)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if changed {
+			updated = append(updated, name)
+		}
+	}
+	if len(updated) > 0 {
+		// Newly visible tables must be discoverable by other instances.
+		if err := t.svc.PublishAll(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return updated, firstErr
+}
+
+func (t *Tracker) checkSource(name string) (bool, error) {
+	dialect, err := t.svc.fed.SourceDialectName(name)
+	if err != nil {
+		return false, err
+	}
+	spec, err := xspec.Generate(name, dialect, sourceQueryer{fed: t.svc.fed, name: name})
+	if err != nil {
+		return false, fmt.Errorf("dataaccess: tracker: regenerate %s: %w", name, err)
+	}
+	data, err := spec.Marshal()
+	if err != nil {
+		return false, err
+	}
+	fp := xspec.FingerprintOf(data)
+	t.mu.Lock()
+	old, seen := t.known[name]
+	t.known[name] = fp
+	t.mu.Unlock()
+	if seen && fp.Equal(old) {
+		return false, nil
+	}
+	if !seen {
+		// First observation: baseline only, no reload.
+		return false, nil
+	}
+	if err := t.svc.fed.ReplaceSpec(name, spec); err != nil {
+		return false, err
+	}
+	t.updates.Add(1)
+	return true, nil
+}
+
+// sourceQueryer adapts a federation member to the xspec.Queryer interface.
+type sourceQueryer struct {
+	fed  *unity.Federation
+	name string
+}
+
+// Query implements xspec.Queryer against one federation source.
+func (q sourceQueryer) Query(sql string, params ...sqlengine.Value) (*sqlengine.ResultSet, error) {
+	if len(params) > 0 {
+		return nil, fmt.Errorf("dataaccess: introspection queries take no parameters")
+	}
+	return q.fed.QuerySource(q.name, sql)
+}

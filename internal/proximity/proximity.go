@@ -1,0 +1,150 @@
+// Package proximity implements the paper's first future-work item (§6):
+// "the design of a system that could decide the closest available database
+// (in terms of network connectivity) from a set of replicated databases."
+//
+// A Prober periodically measures the round-trip time of a trivial probe
+// query against every member database of a Unity federation, smooths the
+// measurements with an exponentially weighted moving average, and installs
+// the result as the source's proximity cost. The federation's replica
+// selector then routes each sub-query to the closest replica first,
+// falling back to load distribution among equals.
+package proximity
+
+import (
+	"sync"
+	"time"
+
+	"gridrdb/internal/unity"
+)
+
+// DefaultAlpha is the EWMA smoothing factor (weight of the newest sample).
+const DefaultAlpha = 0.3
+
+// probeSQL is a trivial query every engine dialect answers without
+// touching a table.
+const probeSQL = "SELECT 1"
+
+// Prober measures and maintains per-source proximity costs.
+type Prober struct {
+	fed   *unity.Federation
+	alpha float64
+
+	mu   sync.Mutex
+	ewma map[string]time.Duration
+	fail map[string]int
+
+	interval time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// now and measure are injectable for tests.
+	measure func(source string) (time.Duration, error)
+}
+
+// NewProber creates a prober for a federation. interval <= 0 means probes
+// only run on explicit ProbeOnce calls.
+func NewProber(fed *unity.Federation, interval time.Duration) *Prober {
+	p := &Prober{
+		fed:      fed,
+		alpha:    DefaultAlpha,
+		ewma:     make(map[string]time.Duration),
+		fail:     make(map[string]int),
+		interval: interval,
+		stop:     make(chan struct{}),
+	}
+	p.measure = p.measureRTT
+	return p
+}
+
+// SetAlpha overrides the EWMA smoothing factor (0 < alpha <= 1).
+func (p *Prober) SetAlpha(a float64) {
+	if a > 0 && a <= 1 {
+		p.mu.Lock()
+		p.alpha = a
+		p.mu.Unlock()
+	}
+}
+
+// measureRTT times one probe query against a source.
+func (p *Prober) measureRTT(source string) (time.Duration, error) {
+	start := time.Now()
+	if _, err := p.fed.QuerySource(source, probeSQL); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// ProbeOnce measures every source once and updates the federation's costs.
+// It returns the smoothed cost per source.
+func (p *Prober) ProbeOnce() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, name := range p.fed.Sources() {
+		rtt, err := p.measure(name)
+		p.mu.Lock()
+		if err != nil {
+			p.fail[name]++
+			// After repeated failures, poison the cost so the selector
+			// avoids the replica ("closest *available* database").
+			if p.fail[name] >= 3 {
+				p.ewma[name] = time.Hour
+			}
+		} else {
+			p.fail[name] = 0
+			prev, seen := p.ewma[name]
+			if !seen {
+				p.ewma[name] = rtt
+			} else {
+				p.ewma[name] = time.Duration(p.alpha*float64(rtt) + (1-p.alpha)*float64(prev))
+			}
+		}
+		cost, ok := p.ewma[name]
+		p.mu.Unlock()
+		if ok {
+			p.fed.SetSourceCost(name, cost)
+			out[name] = cost
+		}
+	}
+	return out
+}
+
+// Cost returns the current smoothed cost for a source.
+func (p *Prober) Cost(source string) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.ewma[source]
+	return c, ok
+}
+
+// Start launches periodic probing.
+func (p *Prober) Start() {
+	if p.interval <= 0 {
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		ticker := time.NewTicker(p.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-ticker.C:
+				p.ProbeOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts periodic probing.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// SetMeasureFunc injects a custom measurement function (tests and
+// simulations).
+func (p *Prober) SetMeasureFunc(f func(source string) (time.Duration, error)) {
+	p.measure = f
+}

@@ -1,0 +1,116 @@
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"testing"
+	"time"
+
+	"gridrdb/internal/sqlengine"
+)
+
+func TestContextCancellation(t *testing.T) {
+	e := newLocalEngine(t, "ctxdb", sqlengine.DialectANSI)
+	if err := e.ExecScript("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	db, err := sql.Open("gridsql", "local://ctxdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, "SELECT a FROM t"); err == nil {
+		t.Fatal("cancelled query succeeded")
+	}
+	if _, err := db.ExecContext(ctx, "INSERT INTO t VALUES (2)"); err == nil {
+		t.Fatal("cancelled exec succeeded")
+	}
+	// Live context still works afterwards.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	var a int64
+	if err := db.QueryRowContext(ctx2, "SELECT a FROM t").Scan(&a); err != nil || a != 1 {
+		t.Fatalf("post-cancel query: %v %d", err, a)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	e := newLocalEngine(t, "prepdb", sqlengine.DialectANSI)
+	if err := e.ExecScript("CREATE TABLE t (a INTEGER, b VARCHAR(8))"); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := sql.Open("gridsql", "local://prepdb")
+	defer db.Close()
+	stmt, err := db.Prepare("INSERT INTO t VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := stmt.Exec(int64(i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := db.Prepare("SELECT COUNT(*) FROM t WHERE a < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var n int64
+	if err := q.QueryRow(int64(5)).Scan(&n); err != nil || n != 5 {
+		t.Fatalf("prepared query: %v %d", err, n)
+	}
+}
+
+func TestRowsAffectedAndLastInsertId(t *testing.T) {
+	e := newLocalEngine(t, "resdb", sqlengine.DialectANSI)
+	if err := e.ExecScript("CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1),(2),(3)"); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := sql.Open("gridsql", "local://resdb")
+	defer db.Close()
+	res, err := db.Exec("UPDATE t SET a = a + 1 WHERE a >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Fatalf("rows affected = %d", n)
+	}
+	if _, err := res.LastInsertId(); err == nil {
+		t.Fatal("LastInsertId should be unsupported")
+	}
+}
+
+func TestConnectionPoolReuse(t *testing.T) {
+	e := newLocalEngine(t, "pooldb", sqlengine.DialectANSI)
+	if err := e.ExecScript("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	db, _ := sql.Open("gridsql", "local://pooldb")
+	defer db.Close()
+	db.SetMaxOpenConns(2)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 20; i++ {
+				if _, err := db.Exec("INSERT INTO t VALUES (?)", int64(i)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM t").Scan(&n); err != nil || n != 160 {
+		t.Fatalf("count = %d (%v)", n, err)
+	}
+}

@@ -1,0 +1,255 @@
+package sqlengine
+
+import "strings"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any parsed SQL expression.
+type Expr interface{ expr() }
+
+// ---- Expressions ----
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+// Param is a '?' placeholder, numbered left to right starting at 0.
+type Param struct{ Index int }
+
+// BinaryExpr is a binary operation: arithmetic, comparison, AND/OR, ||.
+type BinaryExpr struct {
+	Op   string // "+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "||", "LIKE"
+	L, R Expr
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op string // "NOT", "-"
+	X  Expr
+}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// InExpr is `x [NOT] IN (list...)` or `x [NOT] IN (subquery)`.
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Sub  *SelectStmt // mutually exclusive with List
+	Not  bool
+}
+
+// BetweenExpr is `x [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// FuncCall is a scalar or aggregate function call.
+type FuncCall struct {
+	Name     string // canonical upper-case name
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x) etc.
+}
+
+// CaseExpr is a searched or simple CASE expression.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr // may be nil
+}
+
+// CaseWhen is one WHEN ... THEN ... arm.
+type CaseWhen struct{ When, Then Expr }
+
+// ExistsExpr is `EXISTS (subquery)`.
+type ExistsExpr struct{ Sub *SelectStmt }
+
+func (*Literal) expr()     {}
+func (*ColumnRef) expr()   {}
+func (*Param) expr()       {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*IsNullExpr) expr()  {}
+func (*InExpr) expr()      {}
+func (*BetweenExpr) expr() {}
+func (*FuncCall) expr()    {}
+func (*CaseExpr) expr()    {}
+func (*ExistsExpr) expr()  {}
+
+// ---- SELECT ----
+
+// SelectItem is one projection in the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	// Star is `*`; TableStar is `t.*` with Table set on the ColumnRef.
+	Star      bool
+	StarTable string // qualifier for `t.*`, empty for bare `*`
+}
+
+// TableRef is one table (or view) in the FROM clause.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// JoinKind enumerates join types.
+type JoinKind uint8
+
+// Supported join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinRight
+	JoinCross
+)
+
+// JoinClause is `<kind> JOIN table ON cond`.
+type JoinClause struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr // nil for CROSS
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef   // first table; additional comma-joined tables
+	Joins    []JoinClause // explicit JOIN clauses applied after From[0]
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+	Offset   int64 // 0 when absent
+	// Union chains another SELECT whose rows are appended (UNION ALL) or
+	// set-merged (UNION).
+	Union    *SelectStmt
+	UnionAll bool
+}
+
+// ---- DML / DDL ----
+
+// InsertStmt is `INSERT INTO t (cols) VALUES (...), (...)` or INSERT ... SELECT.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+// UpdateStmt is `UPDATE t SET col = expr, ... [WHERE ...]`.
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one `col = expr` assignment.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// DeleteStmt is `DELETE FROM t [WHERE ...]`.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       ColumnType
+	TypeName   string // vendor type name as written
+	NotNull    bool
+	PrimaryKey bool
+	Unique     bool
+	Default    Expr
+}
+
+// CreateTableStmt is `CREATE TABLE [IF NOT EXISTS] t (...)`.
+type CreateTableStmt struct {
+	Table       string
+	IfNotExists bool
+	Columns     []ColumnDef
+	PrimaryKey  []string // table-level PRIMARY KEY(...)
+}
+
+// CreateViewStmt is `CREATE VIEW v AS SELECT ...`.
+type CreateViewStmt struct {
+	View   string
+	Select *SelectStmt
+	// Text preserves the original SELECT text so views can be re-planned
+	// against the current catalog and serialized.
+	Text string
+}
+
+// CreateIndexStmt is `CREATE [UNIQUE] INDEX i ON t (cols)`.
+type CreateIndexStmt struct {
+	Index   string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// DropStmt drops a table, view or index.
+type DropStmt struct {
+	Kind     string // "TABLE", "VIEW", "INDEX"
+	Name     string
+	IfExists bool
+}
+
+// TruncateStmt is `TRUNCATE TABLE t`.
+type TruncateStmt struct{ Table string }
+
+// AlterAddColumnStmt is `ALTER TABLE t ADD [COLUMN] c type`.
+type AlterAddColumnStmt struct {
+	Table  string
+	Column ColumnDef
+}
+
+// TxStmt is BEGIN/COMMIT/ROLLBACK.
+type TxStmt struct{ Kind string }
+
+// ShowTablesStmt lists tables and views.
+type ShowTablesStmt struct{}
+
+// DescribeStmt lists the columns of a table.
+type DescribeStmt struct{ Table string }
+
+func (*SelectStmt) stmt()         {}
+func (*InsertStmt) stmt()         {}
+func (*UpdateStmt) stmt()         {}
+func (*DeleteStmt) stmt()         {}
+func (*CreateTableStmt) stmt()    {}
+func (*CreateViewStmt) stmt()     {}
+func (*CreateIndexStmt) stmt()    {}
+func (*DropStmt) stmt()           {}
+func (*TruncateStmt) stmt()       {}
+func (*AlterAddColumnStmt) stmt() {}
+func (*TxStmt) stmt()             {}
+func (*ShowTablesStmt) stmt()     {}
+func (*DescribeStmt) stmt()       {}
+
+// normalizeName lower-cases an identifier; the engine is case-insensitive
+// for table and column names, like the databases it emulates (by default).
+func normalizeName(s string) string { return strings.ToLower(s) }

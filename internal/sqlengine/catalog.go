@@ -1,0 +1,212 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column is a stored column definition.
+type Column struct {
+	Name       string
+	Type       ColumnType
+	TypeName   string // vendor spelling from the original DDL
+	NotNull    bool
+	PrimaryKey bool
+	Unique     bool
+	Default    Expr
+}
+
+// Table is a heap of rows plus secondary structures. All access goes
+// through the owning Database's lock.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    []Row
+	// colIndex maps column name to position.
+	colIndex map[string]int
+	// Indexes are equality indexes (hash) on single or multiple columns.
+	Indexes map[string]*Index
+	// PrimaryKey column names (may be empty).
+	PrimaryKey []string
+}
+
+// Index is a hash index from key tuple to row positions.
+type Index struct {
+	Name    string
+	Columns []string
+	Unique  bool
+	// m maps the key (joined string form) to row indices into Table.Rows.
+	m map[string][]int
+}
+
+// View is a named stored SELECT.
+type View struct {
+	Name string
+	Stmt *SelectStmt
+	Text string
+}
+
+// Database is one schema: a set of tables, views and indexes guarded by a
+// RWMutex. It corresponds to one "database" in the paper's deployment.
+type Database struct {
+	mu     sync.RWMutex
+	name   string
+	tables map[string]*Table
+	views  map[string]*View
+	// schemaVersion increments on any DDL change; the XSpec tracker uses it
+	// cheaply to detect drift.
+	schemaVersion uint64
+}
+
+// NewDatabase creates an empty database with the given name.
+func NewDatabase(name string) *Database {
+	return &Database{
+		name:   name,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+	}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// SchemaVersion returns a counter that increments on every DDL change.
+func (db *Database) SchemaVersion() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.schemaVersion
+}
+
+// TableNames returns the sorted table names.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames returns the sorted view names.
+func (db *Database) ViewNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.views))
+	for n := range db.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TableSchema returns a copy of the column definitions for a table.
+func (db *Database) TableSchema(name string) ([]Column, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[normalizeName(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: %s: no such table %q", db.name, name)
+	}
+	out := make([]Column, len(t.Columns))
+	copy(out, t.Columns)
+	return out, nil
+}
+
+// RowCount returns the number of rows in a table.
+func (db *Database) RowCount(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[normalizeName(name)]
+	if !ok {
+		return 0, fmt.Errorf("sqlengine: %s: no such table %q", db.name, name)
+	}
+	return len(t.Rows), nil
+}
+
+func (t *Table) colPos(name string) (int, bool) {
+	i, ok := t.colIndex[name]
+	return i, ok
+}
+
+func (t *Table) rebuildColIndex() {
+	t.colIndex = make(map[string]int, len(t.Columns))
+	for i, c := range t.Columns {
+		t.colIndex[c.Name] = i
+	}
+}
+
+func indexKey(vals []Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		// Normalize numerics so 1 and 1.0 collide, matching Compare.
+		if f, ok := v.AsFloat(); ok && v.Kind != KindString {
+			parts[i] = fmt.Sprintf("n:%g", f)
+			continue
+		}
+		parts[i] = v.Kind.String() + ":" + v.String()
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// addToIndexes inserts row (already appended at position pos) into all
+// indexes; returns an error (and removes prior entries) on unique conflicts.
+func (t *Table) addToIndexes(pos int) error {
+	row := t.Rows[pos]
+	for _, idx := range t.Indexes {
+		vals := make([]Value, len(idx.Columns))
+		hasNull := false
+		for i, c := range idx.Columns {
+			ci, _ := t.colPos(c)
+			vals[i] = row[ci]
+			if row[ci].IsNull() {
+				hasNull = true
+			}
+		}
+		key := indexKey(vals)
+		if idx.Unique && !hasNull && len(idx.m[key]) > 0 {
+			return fmt.Errorf("sqlengine: unique constraint %q violated on table %q", idx.Name, t.Name)
+		}
+		idx.m[key] = append(idx.m[key], pos)
+	}
+	return nil
+}
+
+// rebuildIndexes recomputes all index maps (after deletes/updates).
+func (t *Table) rebuildIndexes() {
+	for _, idx := range t.Indexes {
+		idx.m = make(map[string][]int)
+		for pos, row := range t.Rows {
+			vals := make([]Value, len(idx.Columns))
+			for i, c := range idx.Columns {
+				ci, _ := t.colPos(c)
+				vals[i] = row[ci]
+			}
+			idx.m[indexKey(vals)] = append(idx.m[indexKey(vals)], pos)
+		}
+	}
+}
+
+// lookupIndex returns row positions matching the key values, and whether an
+// index on exactly those columns exists.
+func (t *Table) lookupIndex(cols []string, vals []Value) ([]int, bool) {
+	for _, idx := range t.Indexes {
+		if len(idx.Columns) != len(cols) {
+			continue
+		}
+		match := true
+		for i := range cols {
+			if idx.Columns[i] != cols[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return idx.m[indexKey(vals)], true
+		}
+	}
+	return nil, false
+}

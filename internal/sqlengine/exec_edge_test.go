@@ -1,0 +1,312 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTableBehaviour(t *testing.T) {
+	e := NewEngine("empty", DialectANSI)
+	mustExec(t, e, `CREATE TABLE t (a INTEGER, b VARCHAR(8))`)
+	rs := mustQuery(t, e, `SELECT * FROM t`)
+	if len(rs.Rows) != 0 || len(rs.Columns) != 2 {
+		t.Fatalf("empty select: %+v", rs)
+	}
+	// Aggregates over empty input.
+	rs = mustQuery(t, e, `SELECT COUNT(*), SUM(a), MIN(a), MAX(a), AVG(a) FROM t`)
+	row := rs.Rows[0]
+	if row[0].Int != 0 {
+		t.Errorf("count = %v", row[0])
+	}
+	for i := 1; i < 5; i++ {
+		if !row[i].IsNull() {
+			t.Errorf("aggregate %d over empty = %v, want NULL", i, row[i])
+		}
+	}
+	// GROUP BY over empty input yields no groups.
+	rs = mustQuery(t, e, `SELECT b, COUNT(*) FROM t GROUP BY b`)
+	if len(rs.Rows) != 0 {
+		t.Errorf("groups over empty: %v", rs.Rows)
+	}
+	// Joins with an empty side.
+	mustExec(t, e, `CREATE TABLE s (a INTEGER)`)
+	mustExec(t, e, `INSERT INTO s VALUES (1)`)
+	rs = mustQuery(t, e, `SELECT * FROM s LEFT JOIN t ON s.a = t.a`)
+	if len(rs.Rows) != 1 || !rs.Rows[0][1].IsNull() {
+		t.Errorf("left join empty right: %v", rs.Rows)
+	}
+	rs = mustQuery(t, e, `SELECT * FROM s JOIN t ON s.a = t.a`)
+	if len(rs.Rows) != 0 {
+		t.Errorf("inner join empty right: %v", rs.Rows)
+	}
+}
+
+func TestOrderByMultipleKeysAndNulls(t *testing.T) {
+	e := NewEngine("ord", DialectANSI)
+	mustExec(t, e, `CREATE TABLE t (a INTEGER, b INTEGER)`)
+	mustExec(t, e, `INSERT INTO t VALUES (2, 1), (1, 2), (1, 1), (NULL, 3), (2, NULL)`)
+	rs := mustQuery(t, e, `SELECT a, b FROM t ORDER BY a, b DESC`)
+	// NULL first (ascending), then (1,2),(1,1),(2,NULL? ...) — b DESC with
+	// NULL smallest: (2,1) before (2,NULL).
+	got := ""
+	for _, r := range rs.Rows {
+		got += fmt.Sprintf("(%s,%s)", r[0], r[1])
+	}
+	want := "(NULL,3)(1,2)(1,1)(2,1)(2,NULL)"
+	if got != want {
+		t.Fatalf("order: %s, want %s", got, want)
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	e := NewEngine("self", DialectANSI)
+	mustExec(t, e, `CREATE TABLE ev (id INTEGER, prev INTEGER)`)
+	mustExec(t, e, `INSERT INTO ev VALUES (1, NULL), (2, 1), (3, 2)`)
+	rs := mustQuery(t, e, `SELECT a.id, b.id FROM ev a JOIN ev b ON a.prev = b.id ORDER BY a.id`)
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Int != 2 || rs.Rows[0][1].Int != 1 {
+		t.Fatalf("self join: %v", rs.Rows)
+	}
+}
+
+func TestAmbiguousColumnDetected(t *testing.T) {
+	e := NewEngine("amb", DialectANSI)
+	mustExec(t, e, `CREATE TABLE a (k INTEGER)`)
+	mustExec(t, e, `CREATE TABLE b (k INTEGER)`)
+	mustExec(t, e, `INSERT INTO a VALUES (1)`)
+	mustExec(t, e, `INSERT INTO b VALUES (1)`)
+	if _, err := e.Query(`SELECT k FROM a, b WHERE a.k = b.k`); err == nil {
+		t.Fatal("ambiguous column accepted")
+	}
+	// Qualified reference resolves it.
+	rs := mustQuery(t, e, `SELECT a.k FROM a, b WHERE a.k = b.k`)
+	if len(rs.Rows) != 1 {
+		t.Fatalf("qualified: %v", rs.Rows)
+	}
+}
+
+func TestRownumSemantics(t *testing.T) {
+	e := NewEngine("rn", DialectOracle)
+	mustExec(t, e, `CREATE TABLE "t" ("a" NUMBER)`)
+	for i := 1; i <= 10; i++ {
+		mustExec(t, e, fmt.Sprintf(`INSERT INTO "t" VALUES (%d)`, i))
+	}
+	// ROWNUM <= n limits.
+	rs := mustQuery(t, e, `SELECT "a" FROM "t" WHERE ROWNUM <= 3`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("rownum limit: %v", rs.Rows)
+	}
+	// Classic Oracle trap: ROWNUM > 1 never matches (assigned on pass).
+	rs = mustQuery(t, e, `SELECT "a" FROM "t" WHERE ROWNUM > 1`)
+	if len(rs.Rows) != 0 {
+		t.Fatalf("rownum > 1 matched %d rows, Oracle semantics say 0", len(rs.Rows))
+	}
+	// ROWNUM combines with real predicates.
+	rs = mustQuery(t, e, `SELECT "a" FROM "t" WHERE "a" > 5 AND ROWNUM <= 2`)
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Int != 6 {
+		t.Fatalf("rownum+filter: %v", rs.Rows)
+	}
+}
+
+func TestUnionColumnMismatch(t *testing.T) {
+	e := newTestDB(t)
+	if _, err := e.Query(`SELECT id, tag FROM events UNION SELECT id FROM events`); err == nil {
+		t.Fatal("union arity mismatch accepted")
+	}
+}
+
+func TestLimitEdgeCases(t *testing.T) {
+	e := newTestDB(t)
+	rs := mustQuery(t, e, `SELECT id FROM events LIMIT 0`)
+	if len(rs.Rows) != 0 {
+		t.Errorf("limit 0: %v", rs.Rows)
+	}
+	rs = mustQuery(t, e, `SELECT id FROM events LIMIT 100`)
+	if len(rs.Rows) != 5 {
+		t.Errorf("limit beyond size: %v", rs.Rows)
+	}
+	rs = mustQuery(t, e, `SELECT id FROM events LIMIT 2 OFFSET 100`)
+	if len(rs.Rows) != 0 {
+		t.Errorf("offset beyond size: %v", rs.Rows)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	e := NewEngine("conc", DialectANSI)
+	mustExec(t, e, `CREATE TABLE t (a INTEGER)`)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := e.Exec(`INSERT INTO t VALUES (?)`, NewInt(int64(w*100+i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := e.Query(`SELECT COUNT(*) FROM t`); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	rs := mustQuery(t, e, `SELECT COUNT(*) FROM t`)
+	if rs.Rows[0][0].Int != 200 {
+		t.Fatalf("count = %v, want 200", rs.Rows[0][0])
+	}
+}
+
+func TestViewOverDroppedTable(t *testing.T) {
+	e := newTestDB(t)
+	mustExec(t, e, `CREATE VIEW v AS SELECT id FROM events`)
+	mustExec(t, e, `DROP TABLE events`)
+	if _, err := e.Query(`SELECT * FROM v`); err == nil {
+		t.Fatal("view over dropped table answered")
+	}
+}
+
+func TestDeepViewNestingBounded(t *testing.T) {
+	e := newTestDB(t)
+	prev := "events"
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("v%d", i)
+		mustExec(t, e, fmt.Sprintf(`CREATE VIEW %s AS SELECT id FROM %s`, name, prev))
+		prev = name
+	}
+	if _, err := e.Query(`SELECT * FROM v19`); err == nil {
+		t.Fatal("unbounded view nesting accepted (expected depth guard)")
+	}
+}
+
+func TestInsertSelectSelfReferential(t *testing.T) {
+	e := newTestDB(t)
+	// Doubling a table by inserting its own rows must terminate (the
+	// select is materialized before inserts).
+	n := mustExec(t, e, `INSERT INTO events (id, run) SELECT id + 100, run FROM events`)
+	if n != 5 {
+		t.Fatalf("inserted %d", n)
+	}
+	rs := mustQuery(t, e, `SELECT COUNT(*) FROM events`)
+	if rs.Rows[0][0].Int != 10 {
+		t.Fatalf("count = %v", rs.Rows[0][0])
+	}
+}
+
+// Property: for any small set of ints, GROUP BY recovers the multiset
+// (sum of group counts equals total, each count equals occurrences).
+func TestGroupByCountsProperty(t *testing.T) {
+	f := func(vals []int8) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		e := NewEngine("prop", DialectANSI)
+		if _, err := e.Exec(`CREATE TABLE t (a INTEGER)`); err != nil {
+			return false
+		}
+		want := map[int64]int64{}
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{NewInt(int64(v))}
+			want[int64(v)]++
+		}
+		if _, err := e.InsertRows("t", rows); err != nil {
+			return false
+		}
+		rs, err := e.Query(`SELECT a, COUNT(*) FROM t GROUP BY a`)
+		if err != nil {
+			return false
+		}
+		if len(rs.Rows) != len(want) {
+			return false
+		}
+		var total int64
+		for _, r := range rs.Rows {
+			if want[r[0].Int] != r[1].Int {
+				return false
+			}
+			total += r[1].Int
+		}
+		return total == int64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ORDER BY really sorts (adjacent rows are non-decreasing).
+func TestOrderBySortedProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) > 128 {
+			vals = vals[:128]
+		}
+		e := NewEngine("props", DialectANSI)
+		if _, err := e.Exec(`CREATE TABLE t (a INTEGER)`); err != nil {
+			return false
+		}
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{NewInt(int64(v))}
+		}
+		if _, err := e.InsertRows("t", rows); err != nil {
+			return false
+		}
+		rs, err := e.Query(`SELECT a FROM t ORDER BY a`)
+		if err != nil || len(rs.Rows) != len(vals) {
+			return false
+		}
+		for i := 1; i < len(rs.Rows); i++ {
+			if rs.Rows[i-1][0].Int > rs.Rows[i][0].Int {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctOnExpressions(t *testing.T) {
+	e := newTestDB(t)
+	// runs are 100, 101, 102: division yields 1, 1.01 and 1.02.
+	rs := mustQuery(t, e, `SELECT DISTINCT run / 100 FROM events`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("distinct exprs: %v", rs.Rows)
+	}
+}
+
+func TestCrossDialectInsertThenQuery(t *testing.T) {
+	// DDL created via dialect helpers must be usable from raw SQL in the
+	// same dialect (exercises CreateTableSQL + TypeName consistency).
+	for _, d := range []*Dialect{DialectOracle, DialectMySQL, DialectMSSQL, DialectSQLite} {
+		e := NewEngine("x_"+d.Name, d)
+		ddl := d.CreateTableSQL("mix", []ColumnDef{
+			{Name: "i", Type: ColumnType{Kind: KindInt}, PrimaryKey: true, NotNull: true},
+			{Name: "f", Type: ColumnType{Kind: KindFloat}},
+			{Name: "s", Type: ColumnType{Kind: KindString, Size: 20}},
+			{Name: "ts", Type: ColumnType{Kind: KindTime}},
+		}, nil)
+		mustExec(t, e, ddl)
+		mustExec(t, e, `INSERT INTO mix VALUES (1, 2.5, 'x', '2005-06-15 12:00:00')`)
+		rs := mustQuery(t, e, `SELECT i, f, s, ts FROM mix`)
+		if rs.Rows[0][3].Kind != KindTime {
+			t.Errorf("%s: timestamp kind = %v", d.Name, rs.Rows[0][3].Kind)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp
+	tokParam // '?' placeholder
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers preserve case
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true, "DROP": true,
+	"VIEW": true, "INDEX": true, "ON": true, "AS": true, "JOIN": true,
+	"INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true, "CROSS": true,
+	"ORDER": true, "BY": true, "GROUP": true, "HAVING": true, "LIMIT": true,
+	"OFFSET": true, "ASC": true, "DESC": true, "DISTINCT": true, "ALL": true,
+	"NULL": true, "IS": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"EXISTS": true, "UNION": true, "TRUE": true, "FALSE": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "PRIMARY": true,
+	"KEY": true, "UNIQUE": true, "DEFAULT": true, "IF": true, "BEGIN": true,
+	"COMMIT": true, "ROLLBACK": true, "TOP": true, "ROWNUM": true,
+	"USING": true, "SHOW": true, "TABLES": true, "DESCRIBE": true,
+	"ALTER": true, "ADD": true, "COLUMN": true, "RENAME": true, "TO": true,
+	"TRUNCATE": true, "COUNT": true,
+}
+
+// lexer tokenizes SQL text. Identifier quoting is dialect dependent: the
+// quote runes accepted are provided by the dialect ("`" MySQL, `"` ANSI/
+// Oracle/SQLite, "[" MS-SQL).
+type lexer struct {
+	src    string
+	pos    int
+	quotes identQuotes
+	toks   []token
+}
+
+// identQuotes describes how a dialect quotes identifiers.
+type identQuotes struct {
+	backtick bool // `ident`
+	double   bool // "ident"
+	bracket  bool // [ident]
+}
+
+func lexSQL(src string, q identQuotes) ([]token, error) {
+	lx := &lexer{src: src, quotes: q}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.toks, nil
+}
+
+func (lx *lexer) run() error {
+	for {
+		lx.skipSpaceAndComments()
+		if lx.pos >= len(lx.src) {
+			lx.emit(token{kind: tokEOF, pos: lx.pos})
+			return nil
+		}
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\'':
+			if err := lx.lexString(); err != nil {
+				return err
+			}
+		case c == '`' && lx.quotes.backtick:
+			if err := lx.lexQuotedIdent('`', '`'); err != nil {
+				return err
+			}
+		case c == '"' && lx.quotes.double:
+			if err := lx.lexQuotedIdent('"', '"'); err != nil {
+				return err
+			}
+		case c == '[' && lx.quotes.bracket:
+			if err := lx.lexQuotedIdent('[', ']'); err != nil {
+				return err
+			}
+		case c == '?':
+			lx.emit(token{kind: tokParam, text: "?", pos: lx.pos})
+			lx.pos++
+		case isDigit(c) || (c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1])):
+			lx.lexNumber()
+		case isIdentStart(rune(c)):
+			lx.lexWord()
+		default:
+			if err := lx.lexOp(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (lx *lexer) emit(t token) { lx.toks = append(lx.toks, t) }
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				lx.pos = len(lx.src)
+			} else {
+				lx.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) lexString() error {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			lx.emit(token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return fmt.Errorf("sqlengine: unterminated string literal at offset %d", start)
+}
+
+func (lx *lexer) lexQuotedIdent(open, close byte) error {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == close {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == close && open == close {
+				sb.WriteByte(close)
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			lx.emit(token{kind: tokIdent, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return fmt.Errorf("sqlengine: unterminated quoted identifier at offset %d", start)
+}
+
+func (lx *lexer) lexNumber() {
+	start := lx.pos
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case isDigit(c):
+			lx.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			lx.emit(token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start})
+			return
+		}
+	}
+	lx.emit(token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start})
+}
+
+func (lx *lexer) lexWord() {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	word := lx.src[start:lx.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		lx.emit(token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		lx.emit(token{kind: tokIdent, text: word, pos: start})
+	}
+}
+
+var twoByteOps = map[string]bool{
+	"<=": true, ">=": true, "<>": true, "!=": true, "||": true,
+}
+
+func (lx *lexer) lexOp() error {
+	if lx.pos+1 < len(lx.src) {
+		two := lx.src[lx.pos : lx.pos+2]
+		if twoByteOps[two] {
+			lx.emit(token{kind: tokOp, text: two, pos: lx.pos})
+			lx.pos += 2
+			return nil
+		}
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '%', '.', ';':
+		lx.emit(token{kind: tokOp, text: string(c), pos: lx.pos})
+		lx.pos++
+		return nil
+	}
+	return fmt.Errorf("sqlengine: unexpected character %q at offset %d", c, lx.pos)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || r == '#' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}

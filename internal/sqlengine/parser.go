@@ -1,0 +1,1191 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser parses SQL text in a specific dialect into statements.
+type Parser struct {
+	dialect *Dialect
+	toks    []token
+	pos     int
+	nparam  int
+}
+
+// NewParser returns a parser for the given dialect. A nil dialect means
+// DialectANSI.
+func NewParser(d *Dialect) *Parser {
+	if d == nil {
+		d = DialectANSI
+	}
+	return &Parser{dialect: d}
+}
+
+// ParseStatement parses a single SQL statement (a trailing semicolon is
+// allowed).
+func (p *Parser) ParseStatement(src string) (Statement, error) {
+	stmts, err := p.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sqlengine: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func (p *Parser) ParseScript(src string) ([]Statement, error) {
+	toks, err := lexSQL(src, p.dialect.Quotes)
+	if err != nil {
+		return nil, err
+	}
+	p.toks, p.pos, p.nparam = toks, 0, 0
+	var out []Statement
+	for {
+		for p.peekOp(";") {
+			p.next()
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.peekOp(";") && p.peek().kind != tokEOF {
+			return nil, p.errf("expected ';' or end of input, got %s", p.peek())
+		}
+	}
+	return out, nil
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sqlengine: parse error near offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) peek() token { return p.toks[p.pos] }
+func (p *Parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *Parser) peekKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+func (p *Parser) peekOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.text == op
+}
+func (p *Parser) acceptKw(kw string) bool {
+	if p.peekKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+func (p *Parser) acceptOp(op string) bool {
+	if p.peekOp(op) {
+		p.next()
+		return true
+	}
+	return false
+}
+func (p *Parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+func (p *Parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, got %s", op, p.peek())
+	}
+	return nil
+}
+
+// ident accepts an identifier or a non-reserved keyword used as a name.
+func (p *Parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.next()
+		return t.text, nil
+	}
+	// Allow a few keywords as identifiers (COUNT etc. appear as column names
+	// in metadata tables).
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "KEY", "INDEX", "VIEW", "COLUMN", "COUNT", "SET", "SHOW", "TABLES", "TO", "IF", "ADD":
+			p.next()
+			return t.text, nil
+		}
+	}
+	return "", p.errf("expected identifier, got %s", t)
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, p.errf("expected statement keyword, got %s", t)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "TRUNCATE":
+		p.next()
+		p.acceptKw("TABLE")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &TruncateStmt{Table: normalizeName(name)}, nil
+	case "ALTER":
+		return p.parseAlter()
+	case "BEGIN":
+		p.next()
+		return &TxStmt{Kind: "BEGIN"}, nil
+	case "COMMIT":
+		p.next()
+		return &TxStmt{Kind: "COMMIT"}, nil
+	case "ROLLBACK":
+		p.next()
+		return &TxStmt{Kind: "ROLLBACK"}, nil
+	case "SHOW":
+		p.next()
+		if err := p.expectKw("TABLES"); err != nil {
+			return nil, err
+		}
+		return &ShowTablesStmt{}, nil
+	case "DESCRIBE":
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DescribeStmt{Table: normalizeName(name)}, nil
+	}
+	return nil, p.errf("unsupported statement %s", t)
+}
+
+// ---- SELECT ----
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	if p.acceptKw("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKw("ALL")
+	}
+	// MS-SQL: SELECT TOP n ...
+	if p.dialect.LimitStyle == LimitTop && p.peekKw("TOP") {
+		p.next()
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, tr)
+			// JOIN chain binds to the preceding table expression.
+			for {
+				jk, ok, err := p.parseJoinKind()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				jt, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				jc := JoinClause{Kind: jk, Table: jt}
+				if jk != JoinCross {
+					if err := p.expectKw("ON"); err != nil {
+						return nil, err
+					}
+					on, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					jc.On = on
+				}
+				sel.Joins = append(sel.Joins, jc)
+			}
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKw("UNION") {
+		all := p.acceptKw("ALL")
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		sel.Union, sel.UnionAll = sub, all
+		return sel, nil
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				it.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, it)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	// LIMIT/OFFSET: accepted in MySQL/SQLite style for every dialect when
+	// present in the token stream; dialect-specific generation is handled by
+	// Dialect.  Oracle's ROWNUM filter arrives through WHERE instead.
+	if p.acceptKw("LIMIT") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+		if p.acceptOp(",") { // MySQL LIMIT offset, count
+			m, err := p.parseIntLiteral()
+			if err != nil {
+				return nil, err
+			}
+			sel.Offset, sel.Limit = n, m
+		}
+	}
+	if p.acceptKw("OFFSET") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseJoinKind() (JoinKind, bool, error) {
+	switch {
+	case p.acceptKw("JOIN"):
+		return JoinInner, true, nil
+	case p.peekKw("INNER"):
+		p.next()
+		return JoinInner, true, p.expectKw("JOIN")
+	case p.peekKw("LEFT"):
+		p.next()
+		p.acceptKw("OUTER")
+		return JoinLeft, true, p.expectKw("JOIN")
+	case p.peekKw("RIGHT"):
+		p.next()
+		p.acceptKw("OUTER")
+		return JoinRight, true, p.expectKw("JOIN")
+	case p.peekKw("CROSS"):
+		p.next()
+		return JoinCross, true, p.expectKw("JOIN")
+	}
+	return 0, false, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* ?
+	if p.peek().kind == tokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokOp && p.toks[p.pos+2].text == "*" {
+		tbl := p.next().text
+		p.next() // .
+		p.next() // *
+		return SelectItem{Star: true, StarTable: normalizeName(tbl)}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	it := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		it.Alias = normalizeName(a)
+	} else if p.peek().kind == tokIdent {
+		it.Alias = normalizeName(p.next().text)
+	}
+	return it, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	// schema-qualified name: keep last component, schemas are flattened.
+	for p.acceptOp(".") {
+		nxt, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		name = nxt
+	}
+	tr := TableRef{Name: normalizeName(name)}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = normalizeName(a)
+	} else if p.peek().kind == tokIdent {
+		tr.Alias = normalizeName(p.next().text)
+	}
+	return tr, nil
+}
+
+func (p *Parser) parseIntLiteral() (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected integer, got %s", t)
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekKw("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKw("IS") {
+		not := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: l, Not: not}, nil
+	}
+	not := false
+	if p.peekKw("NOT") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokKeyword &&
+		(p.toks[p.pos+1].text == "IN" || p.toks[p.pos+1].text == "BETWEEN" || p.toks[p.pos+1].text == "LIKE") {
+		p.next()
+		not = true
+	}
+	switch {
+	case p.acceptKw("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{X: l, Not: not}
+		if p.peekKw("SELECT") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			in.Sub = sub
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case p.acceptKw("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKw("LIKE"):
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var e Expr = &BinaryExpr{Op: "LIKE", L: l, R: r}
+		if not {
+			e = &UnaryExpr{Op: "NOT", X: e}
+		}
+		return e, nil
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		switch t.text {
+		case "=", "<", "<=", ">", ">=", "<>", "!=":
+			p.next()
+			op := t.text
+			if op == "!=" {
+				op = "<>"
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-" && t.text != "||") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	if p.acceptOp("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Val: NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &Literal{Val: NewFloat(f)}, nil
+		}
+		return &Literal{Val: NewInt(n)}, nil
+	case tokString:
+		p.next()
+		return &Literal{Val: NewString(t.text)}, nil
+	case tokParam:
+		p.next()
+		e := &Param{Index: p.nparam}
+		p.nparam++
+		return e, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: Null()}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: NewBool(false)}, nil
+		case "ROWNUM":
+			p.next()
+			return &ColumnRef{Column: "rownum"}, nil
+		case "CASE":
+			return p.parseCase()
+		case "EXISTS":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sub: sub}, nil
+		case "COUNT":
+			// COUNT is lexed as a keyword; it is a function call when
+			// followed by "(", otherwise an ordinary column name.
+			if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "(" {
+				return p.parseFuncCall()
+			}
+			p.next()
+			return &ColumnRef{Column: "count"}, nil
+		case "KEY", "INDEX", "VIEW", "COLUMN", "SET", "SHOW", "TABLES", "TO", "IF", "ADD":
+			// Non-reserved keywords double as column names.
+			p.next()
+			name := strings.ToLower(t.text)
+			if p.acceptOp(".") {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				return &ColumnRef{Table: name, Column: normalizeName(col)}, nil
+			}
+			return &ColumnRef{Column: name}, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t)
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			if p.peekKw("SELECT") {
+				// Scalar subquery is not supported; report clearly.
+				return nil, p.errf("scalar subqueries are not supported")
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "*" {
+			// bare * inside COUNT handled in parseFuncCall; elsewhere invalid
+			return nil, p.errf("unexpected '*'")
+		}
+	case tokIdent:
+		// function call?
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "(" {
+			return p.parseFuncCall()
+		}
+		p.next()
+		name := t.text
+		if p.acceptOp(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: normalizeName(name), Column: normalizeName(col)}, nil
+		}
+		return &ColumnRef{Column: normalizeName(name)}, nil
+	}
+	return nil, p.errf("unexpected token %s", t)
+}
+
+func (p *Parser) parseFuncCall() (Expr, error) {
+	t := p.next() // name (ident or COUNT keyword)
+	name := strings.ToUpper(t.text)
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: p.dialect.CanonicalFunc(name)}
+	if p.acceptOp("*") {
+		fc.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptOp(")") {
+		return fc, nil
+	}
+	if p.acceptKw("DISTINCT") {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKw("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	if !p.peekKw("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = op
+	}
+	for p.acceptKw("WHEN") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		th, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, CaseWhen{When: w, Then: th})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+// ---- INSERT / UPDATE / DELETE ----
+
+func (p *Parser) parseInsert() (Statement, error) {
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: normalizeName(name)}
+	if p.acceptOp("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, normalizeName(c))
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.peekKw("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sub
+		return st, nil
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	if err := p.expectKw("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: normalizeName(name)}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, SetClause{Column: normalizeName(col), Expr: e})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	if err := p.expectKw("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: normalizeName(name)}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+// ---- DDL ----
+
+func (p *Parser) parseCreate() (Statement, error) {
+	if err := p.expectKw("CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.acceptKw("UNIQUE")
+	switch {
+	case p.acceptKw("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKw("VIEW"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		start := p.peek().pos
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateViewStmt{View: normalizeName(name), Select: sel, Text: p.sliceSrcFrom(start)}, nil
+	case p.acceptKw("INDEX"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		tbl, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		st := &CreateIndexStmt{Index: normalizeName(name), Table: normalizeName(tbl), Unique: unique}
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, normalizeName(c))
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	return nil, p.errf("expected TABLE, VIEW or INDEX after CREATE")
+}
+
+// sliceSrcFrom reconstructs statement text from token positions; used to
+// preserve view definitions. Positions index the original source, which the
+// lexer consumed; we rebuild approximate text from the remaining tokens.
+func (p *Parser) sliceSrcFrom(start int) string {
+	// Render tokens between start offset and current position.
+	var sb strings.Builder
+	for _, t := range p.toks {
+		if t.pos < start || t.pos >= p.peek().pos && p.peek().kind != tokEOF {
+			continue
+		}
+		if t.kind == tokEOF {
+			break
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		if t.kind == tokString {
+			sb.WriteString("'" + strings.ReplaceAll(t.text, "'", "''") + "'")
+		} else {
+			sb.WriteString(t.text)
+		}
+	}
+	return sb.String()
+}
+
+func (p *Parser) parseCreateTable() (Statement, error) {
+	st := &CreateTableStmt{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = normalizeName(name)
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.acceptKw("PRIMARY") {
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				st.PrimaryKey = append(st.PrimaryKey, normalizeName(c))
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			cd, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, cd)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) parseColumnDef() (ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	typName, err := p.ident()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	cd := ColumnDef{Name: normalizeName(name), TypeName: strings.ToUpper(typName)}
+	size := 0
+	if p.acceptOp("(") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return ColumnDef{}, err
+		}
+		size = int(n)
+		// NUMBER(p,s) style
+		if p.acceptOp(",") {
+			if _, err := p.parseIntLiteral(); err != nil {
+				return ColumnDef{}, err
+			}
+			cd.TypeName += "_DEC"
+		}
+		if err := p.expectOp(")"); err != nil {
+			return ColumnDef{}, err
+		}
+	}
+	kind, err := p.dialect.TypeKind(cd.TypeName)
+	if err != nil {
+		return ColumnDef{}, p.errf("%v", err)
+	}
+	cd.Type = ColumnType{Kind: kind, Size: size}
+	for {
+		switch {
+		case p.acceptKw("NOT"):
+			if err := p.expectKw("NULL"); err != nil {
+				return ColumnDef{}, err
+			}
+			cd.NotNull = true
+		case p.acceptKw("NULL"):
+			// explicit NULL, no-op
+		case p.acceptKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return ColumnDef{}, err
+			}
+			cd.PrimaryKey = true
+			cd.NotNull = true
+		case p.acceptKw("UNIQUE"):
+			cd.Unique = true
+		case p.acceptKw("DEFAULT"):
+			e, err := p.parseUnary()
+			if err != nil {
+				return ColumnDef{}, err
+			}
+			cd.Default = e
+		default:
+			return cd, nil
+		}
+	}
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	if err := p.expectKw("DROP"); err != nil {
+		return nil, err
+	}
+	var kind string
+	switch {
+	case p.acceptKw("TABLE"):
+		kind = "TABLE"
+	case p.acceptKw("VIEW"):
+		kind = "VIEW"
+	case p.acceptKw("INDEX"):
+		kind = "INDEX"
+	default:
+		return nil, p.errf("expected TABLE, VIEW or INDEX after DROP")
+	}
+	st := &DropStmt{Kind: kind}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = normalizeName(name)
+	return st, nil
+}
+
+func (p *Parser) parseAlter() (Statement, error) {
+	if err := p.expectKw("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ADD"); err != nil {
+		return nil, err
+	}
+	p.acceptKw("COLUMN")
+	cd, err := p.parseColumnDef()
+	if err != nil {
+		return nil, err
+	}
+	return &AlterAddColumnStmt{Table: normalizeName(name), Column: cd}, nil
+}

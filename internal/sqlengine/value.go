@@ -1,0 +1,407 @@
+// Package sqlengine implements a small, self-contained relational database
+// engine used as the substrate for the gridrdb middleware. It provides an
+// SQL lexer, parser, planner and executor over an in-memory (optionally
+// file-persisted) row store, together with per-vendor SQL dialects that
+// emulate the surface differences between Oracle, MySQL, Microsoft SQL
+// Server and SQLite. The grid middleware layers (POOL-RAL, Unity, the data
+// access service) treat each Engine instance as an independent database
+// server.
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the runtime types a Value may hold.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero value so that a
+// zero-initialized Value is SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTime
+	KindBytes
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	case KindTime:
+		return "TIMESTAMP"
+	case KindBytes:
+		return "BLOB"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a single SQL scalar. It is a tagged union; only the field
+// matching Kind is meaningful. Values are small and passed by value.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+	Time  time.Time
+	Bytes []byte
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// NewInt wraps an int64.
+func NewInt(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// NewFloat wraps a float64.
+func NewFloat(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// NewString wraps a string.
+func NewString(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// NewBool wraps a bool.
+func NewBool(v bool) Value { return Value{Kind: KindBool, Bool: v} }
+
+// NewTime wraps a timestamp.
+func NewTime(v time.Time) Value { return Value{Kind: KindTime, Time: v} }
+
+// NewBytes wraps a byte slice.
+func NewBytes(v []byte) Value { return Value{Kind: KindBytes, Bytes: v} }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// String renders the value for display and for result serialization.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindString:
+		return v.Str
+	case KindBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindTime:
+		return v.Time.UTC().Format("2006-01-02 15:04:05")
+	case KindBytes:
+		return string(v.Bytes)
+	}
+	return "?"
+}
+
+// SQLLiteral renders the value as a literal that the engine's parser can
+// re-read. Strings are single-quoted with quote doubling.
+func (v Value) SQLLiteral() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	case KindTime:
+		return "'" + v.Time.UTC().Format("2006-01-02 15:04:05") + "'"
+	case KindBytes:
+		return "'" + strings.ReplaceAll(string(v.Bytes), "'", "''") + "'"
+	default:
+		return v.String()
+	}
+}
+
+// AsFloat coerces numeric-ish values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Float, true
+	case KindBool:
+		if v.Bool {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// AsInt coerces numeric-ish values to int64.
+func (v Value) AsInt() (int64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return v.Int, true
+	case KindFloat:
+		return int64(v.Float), true
+	case KindBool:
+		if v.Bool {
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		i, err := strconv.ParseInt(strings.TrimSpace(v.Str), 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(strings.TrimSpace(v.Str), 64)
+			if ferr != nil {
+				return 0, false
+			}
+			return int64(f), true
+		}
+		return i, true
+	}
+	return 0, false
+}
+
+// AsBool coerces to a boolean using SQL-ish truthiness.
+func (v Value) AsBool() (bool, bool) {
+	switch v.Kind {
+	case KindBool:
+		return v.Bool, true
+	case KindInt:
+		return v.Int != 0, true
+	case KindFloat:
+		return v.Float != 0, true
+	case KindString:
+		switch strings.ToLower(strings.TrimSpace(v.Str)) {
+		case "true", "t", "1", "yes":
+			return true, true
+		case "false", "f", "0", "no", "":
+			return false, true
+		}
+		return false, false
+	}
+	return false, false
+}
+
+// Compare orders two values. NULL sorts before everything and equals only
+// NULL (three-valued logic is handled by the expression evaluator, which
+// checks IsNull before calling Compare). Numeric kinds compare numerically
+// across int/float/bool; otherwise values compare within their kind, with a
+// best-effort string/number coercion for mixed comparisons.
+func Compare(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if isNumeric(a.Kind) && isNumeric(b.Kind) {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return compareFloat(af, bf)
+	}
+	if a.Kind == KindString && isNumeric(b.Kind) {
+		if af, ok := a.AsFloat(); ok {
+			bf, _ := b.AsFloat()
+			return compareFloat(af, bf)
+		}
+	}
+	if isNumeric(a.Kind) && b.Kind == KindString {
+		if bf, ok := b.AsFloat(); ok {
+			af, _ := a.AsFloat()
+			return compareFloat(af, bf)
+		}
+	}
+	if a.Kind == KindTime || b.Kind == KindTime {
+		at, aok := a.asTime()
+		bt, bok := b.asTime()
+		if aok && bok {
+			switch {
+			case at.Before(bt):
+				return -1
+			case at.After(bt):
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func isNumeric(k Kind) bool {
+	return k == KindInt || k == KindFloat || k == KindBool
+}
+
+func (v Value) asTime() (time.Time, bool) {
+	switch v.Kind {
+	case KindTime:
+		return v.Time, true
+	case KindString:
+		for _, layout := range []string{
+			"2006-01-02 15:04:05", "2006-01-02T15:04:05Z07:00", "2006-01-02",
+		} {
+			if t, err := time.Parse(layout, strings.TrimSpace(v.Str)); err == nil {
+				return t, true
+			}
+		}
+	}
+	return time.Time{}, false
+}
+
+// Equal reports whether two non-NULL values compare equal; NULL never
+// equals anything, including NULL (SQL semantics).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Arith applies a binary arithmetic operator (+ - * / %) with SQL NULL
+// propagation. Integer op integer stays integer except for / which promotes
+// to float when the division is inexact (matching common RDBMS behaviour is
+// vendor specific; we follow Oracle and promote).
+func Arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if op == "+" && (a.Kind == KindString || b.Kind == KindString) {
+		// MS-SQL style string concatenation with +.
+		if _, aok := a.AsFloat(); !aok {
+			return NewString(a.String() + b.String()), nil
+		}
+		if _, bok := b.AsFloat(); !bok {
+			return NewString(a.String() + b.String()), nil
+		}
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if !aok || !bok {
+		return Null(), fmt.Errorf("sqlengine: non-numeric operand for %q: %s %s", op, a.Kind, b.Kind)
+	}
+	bothInt := a.Kind == KindInt && b.Kind == KindInt
+	switch op {
+	case "+":
+		if bothInt {
+			return NewInt(a.Int + b.Int), nil
+		}
+		return NewFloat(af + bf), nil
+	case "-":
+		if bothInt {
+			return NewInt(a.Int - b.Int), nil
+		}
+		return NewFloat(af - bf), nil
+	case "*":
+		if bothInt {
+			return NewInt(a.Int * b.Int), nil
+		}
+		return NewFloat(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return Null(), fmt.Errorf("sqlengine: division by zero")
+		}
+		if bothInt && a.Int%b.Int == 0 {
+			return NewInt(a.Int / b.Int), nil
+		}
+		return NewFloat(af / bf), nil
+	case "%":
+		if bothInt {
+			if b.Int == 0 {
+				return Null(), fmt.Errorf("sqlengine: division by zero")
+			}
+			return NewInt(a.Int % b.Int), nil
+		}
+		if bf == 0 {
+			return Null(), fmt.Errorf("sqlengine: division by zero")
+		}
+		return NewFloat(math.Mod(af, bf)), nil
+	}
+	return Null(), fmt.Errorf("sqlengine: unknown arithmetic operator %q", op)
+}
+
+// ColumnType describes a declared column type after dialect normalization.
+type ColumnType struct {
+	Kind Kind
+	// Size is the declared length for VARCHAR(n)/CHAR(n); 0 means
+	// unbounded. It is advisory: the engine stores strings unchecked but
+	// reports Size through metadata so dialect round-trips preserve DDL.
+	Size int
+}
+
+// Coerce converts v to the column's kind for storage. Lossless where
+// possible; incompatible conversions return an error.
+func (ct ColumnType) Coerce(v Value) (Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	switch ct.Kind {
+	case KindInt:
+		if i, ok := v.AsInt(); ok {
+			return NewInt(i), nil
+		}
+	case KindFloat:
+		if f, ok := v.AsFloat(); ok {
+			return NewFloat(f), nil
+		}
+	case KindString:
+		return NewString(v.String()), nil
+	case KindBool:
+		if b, ok := v.AsBool(); ok {
+			return NewBool(b), nil
+		}
+	case KindTime:
+		if t, ok := v.asTime(); ok {
+			return NewTime(t), nil
+		}
+	case KindBytes:
+		if v.Kind == KindBytes {
+			return v, nil
+		}
+		return NewBytes([]byte(v.String())), nil
+	case KindNull:
+		return v, nil
+	}
+	return Null(), fmt.Errorf("sqlengine: cannot coerce %s value %q to %s", v.Kind, v.String(), ct.Kind)
+}
+
+// Row is one tuple of values.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (Values are value types; the
+// backing slice is fresh).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}

@@ -1,0 +1,282 @@
+package unity
+
+import (
+	"fmt"
+	"strings"
+
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// QuerySource runs raw SQL on one member database (used by the schema
+// tracker to introspect live sources and by diagnostics).
+func (f *Federation) QuerySource(name, sqlText string) (*sqlengine.ResultSet, error) {
+	return f.runOnSource(name, sqlText, nil)
+}
+
+// SourceDialectName returns the vendor dialect of a source.
+func (f *Federation) SourceDialectName(name string) (string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sources[name]
+	if !ok {
+		return "", fmt.Errorf("unity: no source %q", name)
+	}
+	return s.Spec.Dialect, nil
+}
+
+// SourceDriver returns the registered driver name of a source.
+func (f *Federation) SourceDriver(name string) (string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sources[name]
+	if !ok {
+		return "", fmt.Errorf("unity: no source %q", name)
+	}
+	return s.Driver, nil
+}
+
+// SourceURL returns the DSN of a source.
+func (f *Federation) SourceURL(name string) (string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sources[name]
+	if !ok {
+		return "", fmt.Errorf("unity: no source %q", name)
+	}
+	return s.URL, nil
+}
+
+// RALParts describes a query in the POOL-RAL call shape: a field list,
+// table list and WHERE string, all in the physical names and dialect of
+// one source database.
+type RALParts struct {
+	Source string
+	Fields []string
+	Tables []string
+	Where  string
+}
+
+// ExtractRALParts decides whether a planned query fits the POOL-RAL
+// interface (single database, plain column projection, optional WHERE; no
+// joins across databases, aggregates, grouping, ordering, limits or
+// parameters) and if so returns the pieces for RAL.Query. The bool result
+// reports fitness; unknown-table errors from planning propagate.
+func (f *Federation) ExtractRALParts(sqlText string) (*RALParts, bool, error) {
+	sel, err := parseFederated(sqlText)
+	if err != nil {
+		return nil, false, err
+	}
+	plan, err := f.plan(sel)
+	if err != nil {
+		return nil, false, err
+	}
+	if !plan.Pushdown {
+		return nil, false, nil
+	}
+	if sel.Distinct || len(sel.GroupBy) > 0 || sel.Having != nil ||
+		len(sel.OrderBy) > 0 || sel.Limit >= 0 || sel.Offset > 0 ||
+		sel.Union != nil || len(sel.Joins) > 0 || len(sel.From) != 1 {
+		return nil, false, nil
+	}
+	src := plan.pushSource
+	d := f.dialectOf(src)
+	var uses []tableUse
+	collectTables(sel, &uses)
+	m := f.mapperFor(src, plan.Tables, uses)
+
+	parts := &RALParts{Source: src}
+	parts.Tables = []string{m.physTable(sel.From[0].Name)}
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.StarTable == "":
+			parts.Fields = append(parts.Fields, "*")
+		case it.Star:
+			return nil, false, nil
+		default:
+			cr, ok := it.Expr.(*sqlengine.ColumnRef)
+			if !ok || it.Alias != "" {
+				return nil, false, nil
+			}
+			parts.Fields = append(parts.Fields, m.physColumn(cr.Table, cr.Column))
+		}
+	}
+	if sel.Where != nil {
+		if hasParam(sel.Where) {
+			return nil, false, nil
+		}
+		r := &renderer{d: d, m: m}
+		// The RAL call names the table without an alias, so qualified
+		// references are rewritten to bare columns (unambiguous: the
+		// query addresses exactly one table).
+		where, err := r.expr(stripQualifiers(sel.Where))
+		if err != nil {
+			return nil, false, nil
+		}
+		parts.Where = where
+	}
+	return parts, true, nil
+}
+
+// stripQualifiers returns a copy of e with every column reference made
+// unqualified. Only valid for single-table expressions.
+func stripQualifiers(e sqlengine.Expr) sqlengine.Expr {
+	switch x := e.(type) {
+	case *sqlengine.ColumnRef:
+		if x.Table == "" {
+			return x
+		}
+		return &sqlengine.ColumnRef{Column: x.Column}
+	case *sqlengine.BinaryExpr:
+		return &sqlengine.BinaryExpr{Op: x.Op, L: stripQualifiers(x.L), R: stripQualifiers(x.R)}
+	case *sqlengine.UnaryExpr:
+		return &sqlengine.UnaryExpr{Op: x.Op, X: stripQualifiers(x.X)}
+	case *sqlengine.IsNullExpr:
+		return &sqlengine.IsNullExpr{X: stripQualifiers(x.X), Not: x.Not}
+	case *sqlengine.BetweenExpr:
+		return &sqlengine.BetweenExpr{X: stripQualifiers(x.X), Lo: stripQualifiers(x.Lo), Hi: stripQualifiers(x.Hi), Not: x.Not}
+	case *sqlengine.InExpr:
+		out := &sqlengine.InExpr{X: stripQualifiers(x.X), Not: x.Not, Sub: x.Sub}
+		for _, le := range x.List {
+			out.List = append(out.List, stripQualifiers(le))
+		}
+		return out
+	case *sqlengine.FuncCall:
+		out := &sqlengine.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, stripQualifiers(a))
+		}
+		return out
+	case *sqlengine.CaseExpr:
+		out := &sqlengine.CaseExpr{}
+		if x.Operand != nil {
+			out.Operand = stripQualifiers(x.Operand)
+		}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, sqlengine.CaseWhen{When: stripQualifiers(w.When), Then: stripQualifiers(w.Then)})
+		}
+		if x.Else != nil {
+			out.Else = stripQualifiers(x.Else)
+		}
+		return out
+	}
+	return e
+}
+
+func hasParam(e sqlengine.Expr) bool {
+	found := false
+	var walk func(x sqlengine.Expr)
+	walk = func(x sqlengine.Expr) {
+		switch v := x.(type) {
+		case *sqlengine.Param:
+			found = true
+		case *sqlengine.BinaryExpr:
+			walk(v.L)
+			walk(v.R)
+		case *sqlengine.UnaryExpr:
+			walk(v.X)
+		case *sqlengine.IsNullExpr:
+			walk(v.X)
+		case *sqlengine.BetweenExpr:
+			walk(v.X)
+			walk(v.Lo)
+			walk(v.Hi)
+		case *sqlengine.InExpr:
+			walk(v.X)
+			for _, le := range v.List {
+				walk(le)
+			}
+		case *sqlengine.FuncCall:
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *sqlengine.CaseExpr:
+			if v.Operand != nil {
+				walk(v.Operand)
+			}
+			for _, w := range v.Whens {
+				walk(w.When)
+				walk(w.Then)
+			}
+			if v.Else != nil {
+				walk(v.Else)
+			}
+		}
+	}
+	walk(e)
+	return found
+}
+
+// VendorFromDriver maps a driver name ("gridsql-mysql") to its vendor key
+// ("mysql").
+func VendorFromDriver(driver string) string {
+	return strings.TrimPrefix(driver, "gridsql-")
+}
+
+// RemoteFetchSQL builds the per-table fetch query used when integrating a
+// query that spans Clarens servers: "SELECT * FROM <table> [alias]" plus
+// any WHERE conjuncts that reference only this table through its alias
+// (alias-qualified references are attributable without a schema; bare
+// columns are left for residual evaluation). The SQL is rendered in the
+// ANSI dialect over logical names — the remote data access service maps
+// names and dialects itself.
+func RemoteFetchSQL(sel *sqlengine.SelectStmt, logical string) string {
+	var uses []tableUse
+	collectTables(sel, &uses)
+	var use *tableUse
+	refs := 0
+	for i := range uses {
+		if uses[i].ref.Name == logical {
+			refs++
+			use = &uses[i]
+		}
+	}
+	out := &sqlengine.SelectStmt{Limit: -1, Items: []sqlengine.SelectItem{{Star: true}}}
+	tr := sqlengine.TableRef{Name: logical}
+	if refs == 1 && use != nil {
+		tr.Alias = use.ref.Alias
+		if use.where != nil {
+			qualifier := use.ref.Alias
+			if qualifier == "" {
+				qualifier = logical
+			}
+			// Empty column map: only alias-qualified conjuncts qualify.
+			loc := xspec.TableLocation{ColByLogical: map[string]string{}}
+			for _, c := range pushableConjuncts(use.where, qualifier, loc) {
+				if out.Where == nil {
+					out.Where = c
+				} else {
+					out.Where = &sqlengine.BinaryExpr{Op: "AND", L: out.Where, R: c}
+				}
+			}
+		}
+	}
+	out.From = []sqlengine.TableRef{tr}
+	sqlText, err := RenderSelect(sqlengine.DialectANSI, out, &nameMapper{})
+	if err != nil {
+		return "SELECT * FROM " + logical
+	}
+	return sqlText
+}
+
+// TablesInQuery parses a federated SELECT and returns the distinct logical
+// tables it references (in first-appearance order) together with the
+// parsed statement, without consulting any dictionary. The data access
+// layer uses it to split local from remote tables before RLS lookup.
+func TablesInQuery(sqlText string) ([]string, *sqlengine.SelectStmt, error) {
+	sel, err := parseFederated(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	var uses []tableUse
+	collectTables(sel, &uses)
+	seen := map[string]bool{}
+	var out []string
+	for _, u := range uses {
+		if !seen[u.ref.Name] {
+			seen[u.ref.Name] = true
+			out = append(out, u.ref.Name)
+		}
+	}
+	return out, sel, nil
+}

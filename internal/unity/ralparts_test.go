@@ -1,0 +1,118 @@
+package unity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtractRALPartsFits(t *testing.T) {
+	f := buildFederation(t)
+	parts, ok, err := f.ExtractRALParts("SELECT event_id, e_tot FROM events WHERE run = 100 AND e_tot > 5")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if parts.Source != "tier2my" {
+		t.Errorf("source = %s", parts.Source)
+	}
+	if len(parts.Fields) != 2 || parts.Fields[0] != "event_id" {
+		t.Errorf("fields = %v", parts.Fields)
+	}
+	if len(parts.Tables) != 1 || parts.Tables[0] != "events" {
+		t.Errorf("tables = %v", parts.Tables)
+	}
+	if !strings.Contains(parts.Where, "100") || !strings.Contains(parts.Where, "5") {
+		t.Errorf("where = %q", parts.Where)
+	}
+}
+
+func TestExtractRALPartsAliasStripped(t *testing.T) {
+	f := buildFederation(t)
+	parts, ok, err := f.ExtractRALParts("SELECT e.event_id FROM events e WHERE e.run = 100")
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// The RAL call has no alias, so the where must not mention "e".
+	if strings.Contains(parts.Where, "`e`") {
+		t.Errorf("alias leaked into where: %q", parts.Where)
+	}
+	if !strings.Contains(parts.Where, "`run`") {
+		t.Errorf("where = %q", parts.Where)
+	}
+}
+
+func TestExtractRALPartsRejections(t *testing.T) {
+	f := buildFederation(t)
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM events",                                       // aggregate
+		"SELECT event_id FROM events ORDER BY event_id",                     // order by
+		"SELECT event_id FROM events LIMIT 3",                               // limit
+		"SELECT DISTINCT event_id FROM events",                              // distinct
+		"SELECT e.event_id FROM events e JOIN runs r ON e.run = r.run",      // multi-table
+		"SELECT event_id FROM events WHERE run = ?",                         // params
+		"SELECT event_id AS x FROM events",                                  // alias in projection
+		"SELECT event_id FROM events UNION ALL SELECT event_id FROM events", // union
+		"SELECT event_id, e_tot FROM events GROUP BY event_id, e_tot",       // group by
+	} {
+		_, ok, err := f.ExtractRALParts(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if ok {
+			t.Errorf("%q accepted for RAL", q)
+		}
+	}
+	// Unknown tables propagate the typed error.
+	if _, _, err := f.ExtractRALParts("SELECT x FROM never_heard_of_it"); err == nil {
+		t.Error("unknown table silently ignored")
+	}
+}
+
+func TestRemoteFetchSQLPushesAliasConjuncts(t *testing.T) {
+	_, sel, err := TablesInQuery("SELECT e.event_id FROM events e JOIN runs r ON e.run = r.run WHERE e.e_tot > 5 AND r.detector = 'CMS' AND event_id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RemoteFetchSQL(sel, "events")
+	// e.e_tot > 5 is alias-attributable -> pushed; r.detector belongs to
+	// the other table; bare event_id is not attributable without a spec.
+	if !strings.Contains(got, "e_tot") || !strings.Contains(got, "5") {
+		t.Errorf("conjunct not pushed: %q", got)
+	}
+	if strings.Contains(got, "detector") || strings.Contains(got, "event_id\" <") {
+		t.Errorf("foreign/unattributable conjunct pushed: %q", got)
+	}
+	// Table referenced twice: no pushdown at all.
+	_, sel2, err := TablesInQuery("SELECT a.event_id FROM events a JOIN events b ON a.event_id = b.event_id WHERE a.e_tot > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := RemoteFetchSQL(sel2, "events")
+	if strings.Contains(got2, "5") {
+		t.Errorf("pushdown applied to doubly-referenced table: %q", got2)
+	}
+}
+
+func TestTablesInQueryCollectsSubqueries(t *testing.T) {
+	tables, sel, err := TablesInQuery(`SELECT a.x FROM ta a WHERE a.k IN (SELECT k FROM tb) AND EXISTS (SELECT 1 FROM tc WHERE tc.k = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel == nil {
+		t.Fatal("nil stmt")
+	}
+	want := map[string]bool{"ta": true, "tb": true, "tc": true}
+	if len(tables) != 3 {
+		t.Fatalf("tables = %v", tables)
+	}
+	for _, tn := range tables {
+		if !want[tn] {
+			t.Errorf("unexpected table %q", tn)
+		}
+	}
+}
+
+func TestVendorFromDriver(t *testing.T) {
+	if VendorFromDriver("gridsql-oracle") != "oracle" || VendorFromDriver("custom") != "custom" {
+		t.Error("vendor mapping")
+	}
+}

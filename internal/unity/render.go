@@ -1,0 +1,379 @@
+package unity
+
+import (
+	"fmt"
+	"strings"
+
+	"gridrdb/internal/sqlengine"
+)
+
+// nameMapper rewrites logical table/column names into physical names for a
+// specific target database. Table qualifiers are aliases when the query
+// declared them, so only bare table names and column names are mapped.
+type nameMapper struct {
+	// table maps logical table name -> physical table name.
+	table map[string]string
+	// col maps logical table name -> (logical column -> physical column).
+	col map[string]map[string]string
+	// aliasTable maps a query alias -> logical table name.
+	aliasTable map[string]string
+}
+
+func (m *nameMapper) physTable(logical string) string {
+	if m == nil {
+		return logical
+	}
+	if p, ok := m.table[strings.ToLower(logical)]; ok {
+		return p
+	}
+	return logical
+}
+
+// physColumn maps a column reference. qualifier may be an alias, a logical
+// table name, or empty.
+func (m *nameMapper) physColumn(qualifier, column string) string {
+	if m == nil {
+		return column
+	}
+	logical := qualifier
+	if lt, ok := m.aliasTable[strings.ToLower(qualifier)]; ok {
+		logical = lt
+	}
+	if logical != "" {
+		if cols, ok := m.col[strings.ToLower(logical)]; ok {
+			if p, ok := cols[strings.ToLower(column)]; ok {
+				return p
+			}
+		}
+		return column
+	}
+	// Unqualified: search all tables; first match wins (ambiguity was
+	// checked at planning time).
+	for _, cols := range m.col {
+		if p, ok := cols[strings.ToLower(column)]; ok {
+			return p
+		}
+	}
+	return column
+}
+
+// renderer renders a parsed statement back to SQL in a target dialect.
+type renderer struct {
+	d *sqlengine.Dialect
+	m *nameMapper
+}
+
+// RenderSelect renders a SELECT AST in the target dialect with logical
+// names rewritten to physical names. It is used both for whole-query
+// pushdown (single-database queries) and for per-table sub-queries.
+func RenderSelect(d *sqlengine.Dialect, sel *sqlengine.SelectStmt, m *nameMapper) (string, error) {
+	r := &renderer{d: d, m: m}
+	return r.selectSQL(sel)
+}
+
+func (r *renderer) selectSQL(sel *sqlengine.SelectStmt) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if sel.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	limit := sel.Limit
+	if limit >= 0 && r.d.LimitStyle == sqlengine.LimitTop {
+		if sel.Offset > 0 {
+			return "", fmt.Errorf("unity: OFFSET is not expressible in %s", r.d.Name)
+		}
+		fmt.Fprintf(&sb, "TOP %d ", limit)
+	}
+	for i, it := range sel.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarTable == "":
+			sb.WriteString("*")
+		case it.Star:
+			fmt.Fprintf(&sb, "%s.*", r.d.QuoteIdent(it.StarTable))
+		default:
+			s, err := r.expr(it.Expr)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(s)
+			if it.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(r.d.QuoteIdent(it.Alias))
+			}
+		}
+	}
+	if len(sel.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, tr := range sel.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(r.tableRef(tr))
+		}
+		for _, jc := range sel.Joins {
+			switch jc.Kind {
+			case sqlengine.JoinInner:
+				sb.WriteString(" JOIN ")
+			case sqlengine.JoinLeft:
+				sb.WriteString(" LEFT JOIN ")
+			case sqlengine.JoinRight:
+				sb.WriteString(" RIGHT JOIN ")
+			case sqlengine.JoinCross:
+				sb.WriteString(" CROSS JOIN ")
+			}
+			sb.WriteString(r.tableRef(jc.Table))
+			if jc.On != nil {
+				on, err := r.expr(jc.On)
+				if err != nil {
+					return "", err
+				}
+				sb.WriteString(" ON ")
+				sb.WriteString(on)
+			}
+		}
+	}
+	where := sel.Where
+	if limit >= 0 && r.d.LimitStyle == sqlengine.LimitRownum {
+		// Oracle: fold the limit into the WHERE clause as a ROWNUM bound.
+		rownum := &sqlengine.BinaryExpr{
+			Op: "<=",
+			L:  &sqlengine.ColumnRef{Column: "rownum"},
+			R:  &sqlengine.Literal{Val: sqlengine.NewInt(limit)},
+		}
+		if where != nil {
+			where = &sqlengine.BinaryExpr{Op: "AND", L: where, R: rownum}
+		} else {
+			where = rownum
+		}
+		if sel.Offset > 0 {
+			return "", fmt.Errorf("unity: OFFSET is not expressible in %s", r.d.Name)
+		}
+	}
+	if where != nil {
+		s, err := r.expr(where)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s)
+	}
+	if len(sel.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range sel.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			s, err := r.expr(e)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(s)
+		}
+	}
+	if sel.Having != nil {
+		s, err := r.expr(sel.Having)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s)
+	}
+	if sel.Union != nil {
+		sb.WriteString(" UNION ")
+		if sel.UnionAll {
+			sb.WriteString("ALL ")
+		}
+		s, err := r.selectSQL(sel.Union)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(s)
+		return sb.String(), nil
+	}
+	if len(sel.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range sel.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			s, err := r.expr(o.Expr)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(s)
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if limit >= 0 && r.d.LimitStyle == sqlengine.LimitClause {
+		fmt.Fprintf(&sb, " LIMIT %d", limit)
+		if sel.Offset > 0 {
+			fmt.Fprintf(&sb, " OFFSET %d", sel.Offset)
+		}
+	} else if sel.Offset > 0 && r.d.LimitStyle == sqlengine.LimitClause {
+		fmt.Fprintf(&sb, " LIMIT %d OFFSET %d", int64(1)<<62, sel.Offset)
+	} else if sel.Offset > 0 {
+		return "", fmt.Errorf("unity: OFFSET is not expressible in %s", r.d.Name)
+	}
+	return sb.String(), nil
+}
+
+func (r *renderer) tableRef(tr sqlengine.TableRef) string {
+	s := r.d.QuoteIdent(r.m.physTable(tr.Name))
+	if tr.Alias != "" && tr.Alias != tr.Name {
+		s += " " + r.d.QuoteIdent(tr.Alias)
+	}
+	return s
+}
+
+func (r *renderer) expr(e sqlengine.Expr) (string, error) {
+	switch x := e.(type) {
+	case *sqlengine.Literal:
+		return x.Val.SQLLiteral(), nil
+	case *sqlengine.ColumnRef:
+		if x.Column == "rownum" && x.Table == "" {
+			return "ROWNUM", nil
+		}
+		col := r.d.QuoteIdent(r.m.physColumn(x.Table, x.Column))
+		if x.Table != "" {
+			return r.d.QuoteIdent(x.Table) + "." + col, nil
+		}
+		return col, nil
+	case *sqlengine.Param:
+		return "?", nil
+	case *sqlengine.BinaryExpr:
+		l, err := r.expr(x.L)
+		if err != nil {
+			return "", err
+		}
+		rhs, err := r.expr(x.R)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == "||" {
+			// Use the dialect's concatenation spelling (CONCAT on MySQL,
+			// + on MS-SQL, || elsewhere).
+			return "(" + r.d.Concat(l, rhs) + ")", nil
+		}
+		return fmt.Sprintf("(%s %s %s)", l, x.Op, rhs), nil
+	case *sqlengine.UnaryExpr:
+		s, err := r.expr(x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == "NOT" {
+			return "(NOT " + s + ")", nil
+		}
+		return "(" + x.Op + s + ")", nil
+	case *sqlengine.IsNullExpr:
+		s, err := r.expr(x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Not {
+			return "(" + s + " IS NOT NULL)", nil
+		}
+		return "(" + s + " IS NULL)", nil
+	case *sqlengine.BetweenExpr:
+		v, err := r.expr(x.X)
+		if err != nil {
+			return "", err
+		}
+		lo, err := r.expr(x.Lo)
+		if err != nil {
+			return "", err
+		}
+		hi, err := r.expr(x.Hi)
+		if err != nil {
+			return "", err
+		}
+		not := ""
+		if x.Not {
+			not = "NOT "
+		}
+		return fmt.Sprintf("(%s %sBETWEEN %s AND %s)", v, not, lo, hi), nil
+	case *sqlengine.InExpr:
+		v, err := r.expr(x.X)
+		if err != nil {
+			return "", err
+		}
+		not := ""
+		if x.Not {
+			not = "NOT "
+		}
+		if x.Sub != nil {
+			sub, err := r.selectSQL(x.Sub)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("(%s %sIN (%s))", v, not, sub), nil
+		}
+		parts := make([]string, len(x.List))
+		for i, le := range x.List {
+			s, err := r.expr(le)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		return fmt.Sprintf("(%s %sIN (%s))", v, not, strings.Join(parts, ", ")), nil
+	case *sqlengine.FuncCall:
+		if x.Star {
+			return x.Name + "(*)", nil
+		}
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			s, err := r.expr(a)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		prefix := ""
+		if x.Distinct {
+			prefix = "DISTINCT "
+		}
+		return fmt.Sprintf("%s(%s%s)", x.Name, prefix, strings.Join(parts, ", ")), nil
+	case *sqlengine.CaseExpr:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		if x.Operand != nil {
+			s, err := r.expr(x.Operand)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(" " + s)
+		}
+		for _, w := range x.Whens {
+			ws, err := r.expr(w.When)
+			if err != nil {
+				return "", err
+			}
+			ts, err := r.expr(w.Then)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, " WHEN %s THEN %s", ws, ts)
+		}
+		if x.Else != nil {
+			es, err := r.expr(x.Else)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(" ELSE " + es)
+		}
+		sb.WriteString(" END")
+		return sb.String(), nil
+	case *sqlengine.ExistsExpr:
+		sub, err := r.selectSQL(x.Sub)
+		if err != nil {
+			return "", err
+		}
+		return "EXISTS (" + sub + ")", nil
+	}
+	return "", fmt.Errorf("unity: cannot render expression %T", e)
+}

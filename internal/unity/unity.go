@@ -1,0 +1,863 @@
+// Package unity reimplements (and extends) the Unity database-integration
+// driver the paper used as its baseline (§3, §4.6). A Federation is built
+// from XSpec metadata: the upper-level spec lists the member databases
+// (URL + driver + lower spec) and the lower-level specs provide the
+// logical data dictionary. Clients submit ordinary SQL written against
+// *logical* table and column names; the federation maps logical names to
+// physical ones, decomposes the query into per-database sub-queries
+// rendered in each backend's vendor dialect, executes them — in parallel,
+// one of the paper's enhancements over stock Unity — and integrates the
+// partial results, applying cross-database joins, into a single result
+// ("merged into a single 2-D vector, and returned to the client").
+//
+// The second paper enhancement, load distribution, is also here: when a
+// logical table is replicated on several databases the federation routes
+// each sub-query to the least-loaded replica.
+package unity
+
+import (
+	"database/sql"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// ErrUnknownTable is returned (wrapped) when a logical table is not in the
+// federation's dictionary; the data access layer uses it to trigger an RLS
+// lookup.
+type ErrUnknownTable struct{ Table string }
+
+func (e *ErrUnknownTable) Error() string {
+	return fmt.Sprintf("unity: unknown table %q in federation", e.Table)
+}
+
+// Source is one member database of the federation.
+type Source struct {
+	Name   string
+	Driver string
+	URL    string
+	Spec   *xspec.LowerSpec
+
+	db       *sql.DB
+	inflight atomic.Int64
+	// cost is the recorded network-proximity cost in nanoseconds (0 =
+	// unknown); see Federation.SetSourceCost.
+	cost atomic.Int64
+}
+
+// Inflight returns the number of sub-queries currently executing on this
+// source (the load-distribution signal).
+func (s *Source) Inflight() int64 { return s.inflight.Load() }
+
+// Federation is the Unity-style federated query engine.
+type Federation struct {
+	mu      sync.RWMutex
+	sources map[string]*Source
+	dict    *xspec.Dictionary
+
+	// Parallel executes sub-queries concurrently. Stock Unity "does not
+	// allow parallel execution of a query on multiple databases"; this is
+	// on by default and switched off for the baseline ablation.
+	Parallel bool
+
+	rr atomic.Int64 // round-robin tiebreaker
+
+	queries    atomic.Int64
+	subqueries atomic.Int64
+	pushdowns  atomic.Int64
+}
+
+// Open builds a federation from an upper-level spec plus the lower-level
+// specs it references (keyed by source name).
+func Open(upper *xspec.UpperSpec, lowers map[string]*xspec.LowerSpec) (*Federation, error) {
+	f := &Federation{sources: make(map[string]*Source), Parallel: true}
+	f.rebuildDictLocked()
+	for _, ref := range upper.Sources {
+		spec, ok := lowers[ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("unity: no lower-level XSpec for source %q", ref.Name)
+		}
+		if err := f.AddSource(ref, spec); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// AddSource plugs a database into the federation at runtime (§4.10): it
+// opens the connection using the named driver and registers the source's
+// tables in the dictionary.
+func (f *Federation) AddSource(ref xspec.SourceRef, spec *xspec.LowerSpec) error {
+	db, err := sql.Open(ref.Driver, ref.URL)
+	if err != nil {
+		return fmt.Errorf("unity: open source %q: %w", ref.Name, err)
+	}
+	if err := db.Ping(); err != nil {
+		db.Close()
+		return fmt.Errorf("unity: connect source %q: %w", ref.Name, err)
+	}
+	// A "pooling=session" DSN hint disables connection reuse, recreating
+	// the 2005-era JDBC behaviour the paper measured: every sub-query pays
+	// the full connect-and-authenticate cost. The POOL-RAL path keeps its
+	// initialized handles either way, matching §4.7.
+	if strings.Contains(ref.URL, "pooling=session") {
+		db.SetMaxIdleConns(0)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.sources[ref.Name]; dup {
+		db.Close()
+		return fmt.Errorf("unity: source %q already registered", ref.Name)
+	}
+	f.sources[ref.Name] = &Source{Name: ref.Name, Driver: ref.Driver, URL: ref.URL, Spec: spec, db: db}
+	f.rebuildDictLocked()
+	return nil
+}
+
+// RemoveSource drops a database from the federation.
+func (f *Federation) RemoveSource(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sources[name]
+	if !ok {
+		return fmt.Errorf("unity: no source %q", name)
+	}
+	s.db.Close()
+	delete(f.sources, name)
+	f.rebuildDictLocked()
+	return nil
+}
+
+// ReplaceSpec installs a regenerated lower spec for a source (used by the
+// schema-change tracker, §4.9).
+func (f *Federation) ReplaceSpec(name string, spec *xspec.LowerSpec) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.sources[name]
+	if !ok {
+		return fmt.Errorf("unity: no source %q", name)
+	}
+	s.Spec = spec
+	f.rebuildDictLocked()
+	return nil
+}
+
+func (f *Federation) rebuildDictLocked() {
+	specs := make([]*xspec.LowerSpec, 0, len(f.sources))
+	for _, s := range f.sources {
+		specs = append(specs, s.Spec)
+	}
+	f.dict = xspec.BuildDictionary(specs...)
+}
+
+// Dictionary returns the current logical data dictionary.
+func (f *Federation) Dictionary() *xspec.Dictionary {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.dict
+}
+
+// Sources lists registered source names.
+func (f *Federation) Sources() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.sources))
+	for n := range f.sources {
+		out = append(out, n)
+	}
+	return out
+}
+
+// HasTable reports whether a logical table is known to the federation.
+func (f *Federation) HasTable(logical string) bool {
+	return len(f.Dictionary().Lookup(logical)) > 0
+}
+
+// Stats reports cumulative counters: total queries, sub-queries issued,
+// and whole-query pushdowns.
+func (f *Federation) Stats() (queries, subqueries, pushdowns int64) {
+	return f.queries.Load(), f.subqueries.Load(), f.pushdowns.Load()
+}
+
+// Close closes all source connections.
+func (f *Federation) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for _, s := range f.sources {
+		if err := s.db.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.sources = map[string]*Source{}
+	f.rebuildDictLocked()
+	return first
+}
+
+// ---- planning ----
+
+// SubQuery is one planned per-database query.
+type SubQuery struct {
+	Source string
+	Table  string // logical table this sub-query feeds ("" for pushdown)
+	SQL    string
+}
+
+// Plan describes how a federated query will execute.
+type Plan struct {
+	// Pushdown is set when the whole query runs on one database.
+	Pushdown bool
+	// Distributed reports whether the query touches more than one
+	// database (the "Query Distributed" column of Table 1).
+	Distributed bool
+	// Tables are the logical tables referenced.
+	Tables []string
+	// Subs are the sub-queries to run.
+	Subs []SubQuery
+	sel  *sqlengine.SelectStmt
+	// loads maps logical table -> (source, SQL, spec) for the decomposed
+	// path.
+	loads []tableLoad
+	// pushSource is the chosen source for pushdown plans.
+	pushSource string
+}
+
+type tableLoad struct {
+	logical string
+	source  string
+	sql     string
+	spec    xspec.TableSpec
+	loc     xspec.TableLocation
+}
+
+// tableUse records one reference to a logical table in the query.
+type tableUse struct {
+	ref   sqlengine.TableRef
+	where sqlengine.Expr // the WHERE of the scope the ref appears in
+}
+
+// collectTables walks a SELECT (including joins, IN/EXISTS subqueries and
+// UNION branches) gathering every table reference with its scope's WHERE.
+func collectTables(sel *sqlengine.SelectStmt, out *[]tableUse) {
+	for _, tr := range sel.From {
+		*out = append(*out, tableUse{ref: tr, where: sel.Where})
+	}
+	for _, jc := range sel.Joins {
+		*out = append(*out, tableUse{ref: jc.Table, where: sel.Where})
+	}
+	var walkExpr func(e sqlengine.Expr)
+	walkExpr = func(e sqlengine.Expr) {
+		switch x := e.(type) {
+		case *sqlengine.BinaryExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *sqlengine.UnaryExpr:
+			walkExpr(x.X)
+		case *sqlengine.IsNullExpr:
+			walkExpr(x.X)
+		case *sqlengine.BetweenExpr:
+			walkExpr(x.X)
+			walkExpr(x.Lo)
+			walkExpr(x.Hi)
+		case *sqlengine.InExpr:
+			walkExpr(x.X)
+			for _, le := range x.List {
+				walkExpr(le)
+			}
+			if x.Sub != nil {
+				collectTables(x.Sub, out)
+			}
+		case *sqlengine.ExistsExpr:
+			collectTables(x.Sub, out)
+		case *sqlengine.FuncCall:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *sqlengine.CaseExpr:
+			if x.Operand != nil {
+				walkExpr(x.Operand)
+			}
+			for _, w := range x.Whens {
+				walkExpr(w.When)
+				walkExpr(w.Then)
+			}
+			if x.Else != nil {
+				walkExpr(x.Else)
+			}
+		}
+	}
+	if sel.Where != nil {
+		walkExpr(sel.Where)
+	}
+	if sel.Having != nil {
+		walkExpr(sel.Having)
+	}
+	if sel.Union != nil {
+		collectTables(sel.Union, out)
+	}
+}
+
+// PlanQuery parses and plans a federated query without executing it.
+func (f *Federation) PlanQuery(sqlText string) (*Plan, error) {
+	sel, err := parseFederated(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return f.plan(sel)
+}
+
+func parseFederated(sqlText string) (*sqlengine.SelectStmt, error) {
+	st, err := sqlengine.NewParser(sqlengine.DialectANSI).ParseStatement(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlengine.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("unity: only SELECT statements are supported, got %T", st)
+	}
+	return sel, nil
+}
+
+func (f *Federation) plan(sel *sqlengine.SelectStmt) (*Plan, error) {
+	f.mu.RLock()
+	dict := f.dict
+	f.mu.RUnlock()
+
+	var uses []tableUse
+	collectTables(sel, &uses)
+	if len(uses) == 0 {
+		return nil, fmt.Errorf("unity: query references no tables")
+	}
+
+	plan := &Plan{sel: sel}
+	seen := map[string]bool{}
+	var common map[string]bool // databases hosting every table so far
+	for _, u := range uses {
+		logical := u.ref.Name
+		locs := dict.Lookup(logical)
+		if len(locs) == 0 {
+			return nil, &ErrUnknownTable{Table: logical}
+		}
+		if !seen[logical] {
+			seen[logical] = true
+			plan.Tables = append(plan.Tables, logical)
+		}
+		hosts := map[string]bool{}
+		for _, l := range locs {
+			hosts[l.Database] = true
+		}
+		if common == nil {
+			common = hosts
+		} else {
+			for db := range common {
+				if !hosts[db] {
+					delete(common, db)
+				}
+			}
+		}
+	}
+
+	if len(common) > 0 {
+		// Whole-query pushdown to one database.
+		src := f.pickSource(keys(common))
+		m := f.mapperFor(src, plan.Tables, uses)
+		sqlText, err := RenderSelect(f.dialectOf(src), sel, m)
+		if err == nil {
+			plan.Pushdown = true
+			plan.pushSource = src
+			plan.Subs = []SubQuery{{Source: src, SQL: sqlText}}
+			return plan, nil
+		}
+		// Rendering can fail for dialect-inexpressible queries (e.g.
+		// OFFSET on MS-SQL); fall through to the decomposed path.
+	}
+
+	// Decomposed path: one load per logical table.
+	plan.Distributed = true
+	refCount := map[string]int{}
+	for _, u := range uses {
+		refCount[u.ref.Name]++
+	}
+	for _, logical := range plan.Tables {
+		locs := dict.Lookup(logical)
+		dbs := make([]string, len(locs))
+		byDB := map[string]xspec.TableLocation{}
+		for i, l := range locs {
+			dbs[i] = l.Database
+			byDB[l.Database] = l
+		}
+		src := f.pickSource(dbs)
+		loc := byDB[src]
+		// Find the (single) use for predicate pushdown; tables referenced
+		// more than once load unfiltered.
+		var use *tableUse
+		if refCount[logical] == 1 {
+			for i := range uses {
+				if uses[i].ref.Name == logical {
+					use = &uses[i]
+					break
+				}
+			}
+		}
+		subSQL, err := f.tableSubQuery(src, loc, use)
+		if err != nil {
+			return nil, err
+		}
+		plan.loads = append(plan.loads, tableLoad{logical: logical, source: src, sql: subSQL, spec: loc.Spec, loc: loc})
+		plan.Subs = append(plan.Subs, SubQuery{Source: src, Table: logical, SQL: subSQL})
+	}
+	return plan, nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SetSourceCost records a network-proximity cost for a source (typically a
+// measured round-trip time). Replica selection prefers the cheapest
+// source; zero (the default) means "no information". This implements the
+// paper's §6 future-work item: "a system that could decide the closest
+// available database (in terms of network connectivity) from a set of
+// replicated databases".
+func (f *Federation) SetSourceCost(name string, cost time.Duration) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sources[name]
+	if !ok {
+		return fmt.Errorf("unity: no source %q", name)
+	}
+	s.cost.Store(int64(cost))
+	return nil
+}
+
+// SourceCost reports the recorded proximity cost of a source.
+func (f *Federation) SourceCost(name string) (time.Duration, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sources[name]
+	if !ok {
+		return 0, fmt.Errorf("unity: no source %q", name)
+	}
+	return time.Duration(s.cost.Load()), nil
+}
+
+// pickSource implements replica selection: proximity first (lowest
+// recorded cost, when any candidate has one), then load distribution
+// (fewest in-flight sub-queries), breaking remaining ties round-robin.
+func (f *Federation) pickSource(candidates []string) string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	// Proximity pass: if any candidate has a recorded cost, restrict the
+	// choice to the cheapest cost tier.
+	minCost := int64(1 << 62)
+	anyCost := false
+	for _, name := range candidates {
+		if s, ok := f.sources[name]; ok {
+			if c := s.cost.Load(); c > 0 {
+				anyCost = true
+				if c < minCost {
+					minCost = c
+				}
+			}
+		}
+	}
+	best := ""
+	bestLoad := int64(1 << 62)
+	start := int(f.rr.Add(1)) % len(candidates)
+	for i := 0; i < len(candidates); i++ {
+		name := candidates[(start+i)%len(candidates)]
+		s, ok := f.sources[name]
+		if !ok {
+			continue
+		}
+		if anyCost {
+			c := s.cost.Load()
+			// Sources without measurements count as the worst tier.
+			if c == 0 || c > minCost {
+				continue
+			}
+		}
+		if load := s.inflight.Load(); load < bestLoad {
+			best, bestLoad = name, load
+		}
+	}
+	if best == "" {
+		// All candidates filtered (e.g. none measured): fall back to load.
+		for i := 0; i < len(candidates); i++ {
+			name := candidates[(start+i)%len(candidates)]
+			s, ok := f.sources[name]
+			if !ok {
+				continue
+			}
+			if load := s.inflight.Load(); load < bestLoad {
+				best, bestLoad = name, load
+			}
+		}
+	}
+	return best
+}
+
+func (f *Federation) dialectOf(source string) *sqlengine.Dialect {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.sources[source]
+	if !ok {
+		return sqlengine.DialectANSI
+	}
+	d, err := sqlengine.DialectByName(s.Spec.Dialect)
+	if err != nil {
+		return sqlengine.DialectANSI
+	}
+	return d
+}
+
+// mapperFor builds the logical->physical name mapper for a source.
+func (f *Federation) mapperFor(source string, tables []string, uses []tableUse) *nameMapper {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	m := &nameMapper{
+		table:      map[string]string{},
+		col:        map[string]map[string]string{},
+		aliasTable: map[string]string{},
+	}
+	s, ok := f.sources[source]
+	if !ok {
+		return m
+	}
+	for _, t := range s.Spec.Tables {
+		logical := strings.ToLower(t.Logical)
+		if logical == "" {
+			logical = strings.ToLower(t.Name)
+		}
+		m.table[logical] = t.Name
+		cols := map[string]string{}
+		for _, c := range t.Columns {
+			lc := strings.ToLower(c.Logical)
+			if lc == "" {
+				lc = strings.ToLower(c.Name)
+			}
+			cols[lc] = c.Name
+		}
+		m.col[logical] = cols
+	}
+	for _, u := range uses {
+		if u.ref.Alias != "" {
+			m.aliasTable[u.ref.Alias] = u.ref.Name
+		}
+	}
+	return m
+}
+
+// tableSubQuery renders the per-table sub-query: all spec columns, plus
+// any single-table conjuncts of the scope's WHERE pushed down.
+func (f *Federation) tableSubQuery(source string, loc xspec.TableLocation, use *tableUse) (string, error) {
+	d := f.dialectOf(source)
+	sub := &sqlengine.SelectStmt{Limit: -1}
+	alias := ""
+	if use != nil {
+		alias = use.ref.Alias
+	}
+	sub.From = []sqlengine.TableRef{{Name: loc.Spec.Logical, Alias: alias}}
+	for _, c := range loc.Spec.Columns {
+		logical := strings.ToLower(c.Logical)
+		if logical == "" {
+			logical = strings.ToLower(c.Name)
+		}
+		sub.Items = append(sub.Items, sqlengine.SelectItem{
+			Expr: &sqlengine.ColumnRef{Column: logical},
+		})
+	}
+	if len(sub.Items) == 0 {
+		sub.Items = []sqlengine.SelectItem{{Star: true}}
+	}
+	if use != nil && use.where != nil {
+		qualifier := use.ref.Alias
+		if qualifier == "" {
+			qualifier = use.ref.Name
+		}
+		conjs := pushableConjuncts(use.where, qualifier, loc)
+		for _, c := range conjs {
+			if sub.Where == nil {
+				sub.Where = c
+			} else {
+				sub.Where = &sqlengine.BinaryExpr{Op: "AND", L: sub.Where, R: c}
+			}
+		}
+	}
+	m := f.mapperFor(source, []string{loc.Spec.Logical}, nil)
+	if alias != "" {
+		m.aliasTable[alias] = strings.ToLower(loc.Spec.Logical)
+	}
+	return RenderSelect(d, sub, m)
+}
+
+// splitConjuncts flattens top-level ANDs.
+func splitConjuncts(e sqlengine.Expr) []sqlengine.Expr {
+	if be, ok := e.(*sqlengine.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []sqlengine.Expr{e}
+}
+
+// pushableConjuncts returns WHERE conjuncts that reference only the given
+// table (by qualifier, or unqualified columns present in the table's spec)
+// and contain no parameters or subqueries, so they can run remotely.
+func pushableConjuncts(where sqlengine.Expr, qualifier string, loc xspec.TableLocation) []sqlengine.Expr {
+	var out []sqlengine.Expr
+	for _, c := range splitConjuncts(where) {
+		if exprPushable(c, qualifier, loc) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func exprPushable(e sqlengine.Expr, qualifier string, loc xspec.TableLocation) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *sqlengine.Literal:
+		return true
+	case *sqlengine.Param:
+		return false
+	case *sqlengine.ColumnRef:
+		if x.Column == "rownum" {
+			return false
+		}
+		if x.Table != "" {
+			return strings.EqualFold(x.Table, qualifier)
+		}
+		_, ok := loc.ColByLogical[strings.ToLower(x.Column)]
+		return ok
+	case *sqlengine.BinaryExpr:
+		return exprPushable(x.L, qualifier, loc) && exprPushable(x.R, qualifier, loc)
+	case *sqlengine.UnaryExpr:
+		return exprPushable(x.X, qualifier, loc)
+	case *sqlengine.IsNullExpr:
+		return exprPushable(x.X, qualifier, loc)
+	case *sqlengine.BetweenExpr:
+		return exprPushable(x.X, qualifier, loc) && exprPushable(x.Lo, qualifier, loc) && exprPushable(x.Hi, qualifier, loc)
+	case *sqlengine.InExpr:
+		if x.Sub != nil {
+			return false
+		}
+		if !exprPushable(x.X, qualifier, loc) {
+			return false
+		}
+		for _, le := range x.List {
+			if !exprPushable(le, qualifier, loc) {
+				return false
+			}
+		}
+		return true
+	case *sqlengine.FuncCall:
+		if x.Star || x.Distinct {
+			return false
+		}
+		for _, a := range x.Args {
+			if !exprPushable(a, qualifier, loc) {
+				return false
+			}
+		}
+		// Only portable scalar functions are pushed.
+		switch x.Name {
+		case "COALESCE", "LENGTH", "UPPER", "LOWER", "ABS", "ROUND", "SUBSTR", "TRIM", "MOD":
+			return true
+		}
+		return false
+	case *sqlengine.CaseExpr:
+		return false
+	case *sqlengine.ExistsExpr:
+		return false
+	}
+	return false
+}
+
+// ---- execution ----
+
+// Query plans and executes a federated query, returning the merged result.
+func (f *Federation) Query(sqlText string, params ...sqlengine.Value) (*sqlengine.ResultSet, error) {
+	plan, err := f.PlanQuery(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return f.Execute(plan, params...)
+}
+
+// Execute runs a previously produced plan.
+func (f *Federation) Execute(plan *Plan, params ...sqlengine.Value) (*sqlengine.ResultSet, error) {
+	f.queries.Add(1)
+	if plan.Pushdown {
+		f.pushdowns.Add(1)
+		f.subqueries.Add(1)
+		return f.runOnSource(plan.pushSource, plan.Subs[0].SQL, params)
+	}
+
+	// Decomposed: fetch every table load (possibly in parallel), then
+	// integrate on a scratch engine.
+	type loadResult struct {
+		idx int
+		rs  *sqlengine.ResultSet
+		err error
+	}
+	results := make([]*sqlengine.ResultSet, len(plan.loads))
+	if f.Parallel && len(plan.loads) > 1 {
+		ch := make(chan loadResult, len(plan.loads))
+		for i, ld := range plan.loads {
+			go func(i int, ld tableLoad) {
+				rs, err := f.runOnSource(ld.source, ld.sql, nil)
+				ch <- loadResult{idx: i, rs: rs, err: err}
+			}(i, ld)
+		}
+		for range plan.loads {
+			r := <-ch
+			if r.err != nil {
+				return nil, r.err
+			}
+			results[r.idx] = r.rs
+		}
+	} else {
+		for i, ld := range plan.loads {
+			rs, err := f.runOnSource(ld.source, ld.sql, nil)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = rs
+		}
+	}
+	f.subqueries.Add(int64(len(plan.loads)))
+
+	// Integration: materialize partial results as scratch tables under
+	// their logical names and run the original query locally.
+	scratch := sqlengine.NewEngine("unity-scratch", sqlengine.DialectANSI)
+	for i, ld := range plan.loads {
+		cols := make([]sqlengine.ColumnDef, 0, len(ld.spec.Columns))
+		for _, c := range ld.spec.Columns {
+			kind := kindFromName(c.Kind)
+			logical := strings.ToLower(c.Logical)
+			if logical == "" {
+				logical = strings.ToLower(c.Name)
+			}
+			cols = append(cols, sqlengine.ColumnDef{Name: logical, Type: sqlengine.ColumnType{Kind: kind}})
+		}
+		if len(cols) == 0 {
+			for _, cn := range results[i].Columns {
+				cols = append(cols, sqlengine.ColumnDef{Name: strings.ToLower(cn), Type: sqlengine.ColumnType{Kind: sqlengine.KindString}})
+			}
+		}
+		ddl := sqlengine.DialectANSI.CreateTableSQL(ld.logical, cols, nil)
+		if _, err := scratch.Exec(ddl); err != nil {
+			return nil, fmt.Errorf("unity: scratch table %s: %w", ld.logical, err)
+		}
+		if _, err := scratch.InsertRows(ld.logical, results[i].Rows); err != nil {
+			return nil, fmt.Errorf("unity: scratch load %s: %w", ld.logical, err)
+		}
+	}
+	sess := scratch.NewSession()
+	rs, _, err := sess.RunStmt(plan.sel, params)
+	if err != nil {
+		return nil, fmt.Errorf("unity: integration: %w", err)
+	}
+	return rs, nil
+}
+
+func kindFromName(name string) sqlengine.Kind {
+	switch strings.ToUpper(name) {
+	case "INTEGER":
+		return sqlengine.KindInt
+	case "DOUBLE":
+		return sqlengine.KindFloat
+	case "BOOLEAN":
+		return sqlengine.KindBool
+	case "TIMESTAMP":
+		return sqlengine.KindTime
+	case "BLOB":
+		return sqlengine.KindBytes
+	default:
+		return sqlengine.KindString
+	}
+}
+
+// runOnSource executes SQL on one member database through database/sql.
+func (f *Federation) runOnSource(source, sqlText string, params []sqlengine.Value) (*sqlengine.ResultSet, error) {
+	f.mu.RLock()
+	s, ok := f.sources[source]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unity: no source %q", source)
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	args := make([]interface{}, len(params))
+	for i, p := range params {
+		args[i] = p
+	}
+	rows, err := s.db.Query(sqlText, args...)
+	if err != nil {
+		return nil, fmt.Errorf("unity: source %q: %w", source, err)
+	}
+	defer rows.Close()
+	return scanAll(rows)
+}
+
+// scanAll materializes a *sql.Rows into an engine ResultSet.
+func scanAll(rows *sql.Rows) (*sqlengine.ResultSet, error) {
+	cols, err := rows.Columns()
+	if err != nil {
+		return nil, err
+	}
+	rs := &sqlengine.ResultSet{Columns: cols}
+	for rows.Next() {
+		raw := make([]interface{}, len(cols))
+		ptrs := make([]interface{}, len(cols))
+		for i := range raw {
+			ptrs[i] = &raw[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, err
+		}
+		row := make(sqlengine.Row, len(cols))
+		for i, x := range raw {
+			v, err := ifaceToValue(x)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, rows.Err()
+}
+
+func ifaceToValue(x interface{}) (sqlengine.Value, error) {
+	switch v := x.(type) {
+	case nil:
+		return sqlengine.Null(), nil
+	case int64:
+		return sqlengine.NewInt(v), nil
+	case float64:
+		return sqlengine.NewFloat(v), nil
+	case string:
+		return sqlengine.NewString(v), nil
+	case bool:
+		return sqlengine.NewBool(v), nil
+	case []byte:
+		return sqlengine.NewBytes(v), nil
+	case time.Time:
+		return sqlengine.NewTime(v), nil
+	}
+	return sqlengine.Null(), fmt.Errorf("unity: unsupported scan type %T", x)
+}
