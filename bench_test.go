@@ -163,21 +163,18 @@ func BenchmarkAblationStaging(b *testing.B) {
 	b.Run("direct", func(b *testing.B) { benchStage1(b, 700, false) })
 }
 
-// BenchmarkAblationParallel compares parallel sub-query execution (the
-// paper's enhancement) against stock Unity's sequential execution.
+// BenchmarkAblationParallel compares scatter-gather over the bounded
+// worker pool (the paper's enhancement, now pooled) against stock Unity's
+// sequential execution, at several pool widths.
 func BenchmarkAblationParallel(b *testing.B) {
 	d := benchDeployment(b)
 	q := "SELECT e.event_id, m.detector FROM ev1 e JOIN meta2 m ON e.run = m.run"
-	for _, par := range []bool{true, false} {
-		name := "parallel"
-		if !par {
-			name = "sequential"
-		}
+	run := func(name string, par bool, width int) {
 		b.Run(name, func(b *testing.B) {
 			fed := d.Serv1.Federation()
-			old := fed.Parallel
-			fed.Parallel = par
-			defer func() { fed.Parallel = old }()
+			oldPar, oldWidth := fed.Parallel, fed.MaxParallel
+			fed.Parallel, fed.MaxParallel = par, width
+			defer func() { fed.Parallel, fed.MaxParallel = oldPar, oldWidth }()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := d.Serv1.Query(q); err != nil {
@@ -186,6 +183,73 @@ func BenchmarkAblationParallel(b *testing.B) {
 			}
 		})
 	}
+	run("parallel", true, 0)
+	run("parallel-width1", true, 1)
+	run("sequential", false, 0)
+}
+
+// ---- Query-result cache (the qcache subsystem) ----
+
+var (
+	benchCacheOnce   sync.Once
+	benchCacheDeploy *experiments.Deployment
+	benchCacheErr    error
+)
+
+// benchCacheDeployment builds the cache-enabled twin of benchDeployment.
+func benchCacheDeployment(b *testing.B) *experiments.Deployment {
+	benchCacheOnce.Do(func() {
+		opt := experiments.SmallDeploy()
+		opt.RowsPerTable = 3000
+		opt.FillerTablesPerDB = 10
+		opt.CacheSize = 1024
+		benchCacheDeploy, benchCacheErr = experiments.Deploy(opt)
+	})
+	if benchCacheErr != nil {
+		b.Fatal(benchCacheErr)
+	}
+	return benchCacheDeploy
+}
+
+// BenchmarkCacheFederated measures the multi-mart scenario cold (cache
+// flushed every iteration, so each query re-runs the full scatter-gather)
+// versus warm (entry resident; served straight from qcache). The warm
+// path must come out >= 10x faster than cold.
+func BenchmarkCacheFederated(b *testing.B) {
+	d := benchCacheDeployment(b)
+	q := experiments.CacheQuery
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Serv1.CacheFlush()
+			if _, err := d.Serv1.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := d.Serv1.Query(q); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Serv1.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if d.Serv1.CacheStats().Hits < int64(b.N) {
+			b.Fatalf("warm phase was not served from the cache: %+v", d.Serv1.CacheStats())
+		}
+	})
+	b.Run("uncached-baseline", func(b *testing.B) {
+		base := benchDeployment(b) // cache-disabled twin
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := base.Serv1.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationRoute compares the POOL-RAL path against the Unity path

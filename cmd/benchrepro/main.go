@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -23,9 +24,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, table1, fig6, all")
+	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, cache, table1, fig6, all")
 	scale := flag.String("scale", "small", "testbed scale: small (CI) or paper (simulated LAN, full size)")
 	repeats := flag.Int("repeats", 3, "measurement repeats per point")
+	cacheOut := flag.String("cache-out", "BENCH_cache.json", "path of the cache datapoint file (\"\" disables)")
 	flag.Parse()
 
 	profile := netsim.Local
@@ -46,6 +48,7 @@ func main() {
 
 	run("fig4", func() error { return runFig4(profile) })
 	run("fig5", func() error { return runFig5(profile) })
+	run("cache", func() error { return runCache(opts, *repeats, *cacheOut) })
 
 	var dep *experiments.Deployment
 	needDeploy := *exp == "all" || *exp == "table1" || *exp == "fig6"
@@ -85,6 +88,39 @@ func runWAN(repeats int) error {
 	}
 	fmt.Println("expected shape: WAN >> LAN >> local; the distributed penalty grows with link cost")
 	fmt.Println()
+	return nil
+}
+
+// runCache measures the cold-versus-warm federated query on a
+// cache-enabled deployment (the qcache subsystem's headline number) and
+// writes the datapoint to outPath so the perf trajectory is tracked from
+// PR to PR.
+func runCache(opts experiments.DeployOptions, repeats int, outPath string) error {
+	fmt.Println("== Extension: query-result cache, cold vs warm federated query ==")
+	row, err := experiments.RunCache(opts, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%12s %14s %10s %8s\n", "cold (ns)", "warm (ns)", "speedup", "hits")
+	fmt.Printf("%12d %14d %9.1fx %8d\n", row.ColdNsOp, row.WarmNsOp, row.Speedup, row.Hits)
+	fmt.Println("expected shape: warm >= 10x faster than cold (cache hit skips the scatter-gather)")
+	fmt.Println()
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(map[string]interface{}{
+		"benchmark": "federated_query_cache",
+		"query":     experiments.CacheQuery,
+		"repeats":   repeats,
+		"result":    row,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"log"
 	"strings"
 
+	"gridrdb/internal/clarens"
 	"gridrdb/internal/ntuple"
 	"gridrdb/internal/sqlengine"
 	"gridrdb/internal/warehouse"
@@ -70,6 +71,7 @@ func main() {
 	nvar := flag.Int("nvar", 8, "variables per event")
 	direct := flag.Bool("direct", false, "stream directly instead of staging through a temp file")
 	makeViews := flag.Bool("create-views", false, "stage 1: also create per-run views on the warehouse")
+	notify := flag.String("notify", "", "JClarens server URL whose query-result cache to flush after a mart refresh")
 	flag.Parse()
 
 	cfg := ntuple.Config{Name: *name, NVar: *nvar, Runs: 4}
@@ -137,6 +139,15 @@ func main() {
 		}
 		fmt.Printf("stage 2: %d rows, %.3f kB staged, extract %.4fs, load %.4fs\n",
 			res.Rows, float64(res.Bytes)/1000, res.ExtractTime.Seconds(), res.LoadTime.Seconds())
+		if *notify != "" {
+			// The mart's contents changed under the serving instance's
+			// query-result cache; drop its entries so clients see fresh rows.
+			dropped, err := clarens.NewClient(*notify).Call("system.cacheflush")
+			if err != nil {
+				log.Fatalf("etlctl: notify %s: %v", *notify, err)
+			}
+			fmt.Printf("flushed %v cached entries on %s\n", dropped, *notify)
+		}
 	default:
 		log.Fatalf("etlctl: unknown stage %d", *stage)
 	}

@@ -7,6 +7,8 @@
 //	gridql -server http://host:9410 [-user u -password p] "SELECT ..."
 //	gridql -server http://host:9410 -tables
 //	gridql -server http://host:9410 -schema events
+//	gridql -server http://host:9410 -cache
+//	gridql -server http://host:9410 -cache-flush
 package main
 
 import (
@@ -26,6 +28,8 @@ func main() {
 	password := flag.String("password", "", "login password")
 	tables := flag.Bool("tables", false, "list logical tables and exit")
 	schema := flag.String("schema", "", "print a table's schema and exit")
+	cache := flag.Bool("cache", false, "print the server's query-result cache stats and exit")
+	cacheFlush := flag.Bool("cache-flush", false, "drop the server's query-result cache and exit")
 	flag.Parse()
 
 	c := clarens.NewClient(*server)
@@ -36,6 +40,22 @@ func main() {
 	}
 
 	switch {
+	case *cache:
+		res, err := c.Call("system.cachestats")
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		m := res.(map[string]interface{})
+		fmt.Printf("query-result cache enabled=%v\n", m["enabled"])
+		for _, k := range []string{"entries", "hits", "misses", "coalesced", "evictions", "expirations", "invalidations"} {
+			fmt.Printf("  %-14s %v\n", k, m[k])
+		}
+	case *cacheFlush:
+		res, err := c.Call("system.cacheflush")
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		fmt.Printf("dropped %v cached entries\n", res)
 	case *tables:
 		res, err := c.Call("dataaccess.tables")
 		if err != nil {

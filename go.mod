@@ -1,0 +1,3 @@
+module gridrdb
+
+go 1.24

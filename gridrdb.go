@@ -12,7 +12,15 @@
 //   - warehouse: the ETL pipeline (normalized sources -> denormalized star
 //     warehouse) and data-mart materialization;
 //   - unity + poolral: the two query-routing modules of the data access
-//     layer;
+//     layer; unity scatter-gathers per-source sub-queries over a bounded
+//     parallel worker pool, so federated latency is the max over sources
+//     rather than the sum;
+//   - qcache: the query-result cache of the data access layer — a
+//     sharded, TTL'd LRU with singleflight collapsing of concurrent
+//     identical queries and (source, table) dependency fingerprints, so a
+//     schema change or mart re-materialization evicts exactly the
+//     dependent entries (enable per server with ServerConfig.CacheSize;
+//     inspect with the system.cachestats XML-RPC method);
 //   - rls: the replica location service;
 //   - clarens + dataaccess: the JClarens web-service interface and the
 //     routing/integration core.
@@ -25,6 +33,7 @@ package gridrdb
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"gridrdb/internal/clarens"
 	"gridrdb/internal/dataaccess"
@@ -32,6 +41,7 @@ import (
 	"gridrdb/internal/rls"
 	"gridrdb/internal/sqldriver"
 	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/warehouse"
 	"gridrdb/internal/xspec"
 )
 
@@ -102,6 +112,12 @@ type ServerConfig struct {
 	Addr string
 	// Profile simulates network costs for this server's remote calls.
 	Profile *netsim.Profile
+	// CacheSize enables the query-result cache when > 0 (entries held).
+	// Cached answers are invalidated by the schema tracker and mart
+	// refreshes; out-of-band backend writes are only bounded by CacheTTL.
+	CacheSize int
+	// CacheTTL bounds cached-entry lifetime (0 = no expiry).
+	CacheTTL time.Duration
 }
 
 // Server is one running JClarens instance: the data access service plus
@@ -133,6 +149,15 @@ func (s *Server) AddMart(e *Engine) error {
 // Query runs a federated query on this server.
 func (s *Server) Query(sql string, params ...Value) (*QueryResult, error) {
 	return s.Service.Query(sql, params...)
+}
+
+// WireETL connects an in-process ETL pipeline to this server's query
+// cache: after every Materialize into the named mart, the cached results
+// that read the refreshed table are evicted. Call it once per (ETL, mart)
+// before running Stage 2 against a mart this server serves; cross-process
+// refreshes use `etlctl -notify` instead.
+func (s *Server) WireETL(etl *warehouse.ETL, martSource string) {
+	etl.OnRefresh = s.Service.MartInvalidator(martSource)
 }
 
 // Client returns an XML-RPC client bound to this server.
@@ -182,7 +207,12 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 	rlsURL := g.rlsURL
 	g.mu.Unlock()
 
-	dcfg := dataaccess.Config{Name: cfg.Name, Profile: cfg.Profile}
+	dcfg := dataaccess.Config{
+		Name:      cfg.Name,
+		Profile:   cfg.Profile,
+		CacheSize: cfg.CacheSize,
+		CacheTTL:  cfg.CacheTTL,
+	}
 	if rlsURL != "" {
 		c := rls.NewClient(rlsURL)
 		c.Profile = cfg.Profile

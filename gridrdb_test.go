@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/ntuple"
 	"gridrdb/internal/sqldriver"
+	"gridrdb/internal/warehouse"
 )
 
 // buildGrid assembles the paper's two-server topology: jc1 hosts a MySQL
@@ -142,5 +144,67 @@ func TestGridIdempotentRLS(t *testing.T) {
 	}
 	if g.RLSURL() != u1 {
 		t.Error("RLSURL mismatch")
+	}
+}
+
+// TestWireETLEvictsOnMaterialize proves the in-process ETL-to-cache
+// wiring at the facade: a Stage-2 re-materialization of a mart table
+// evicts the cached queries that read it, and only those.
+func TestWireETLEvictsOnMaterialize(t *testing.T) {
+	g := NewGrid()
+	t.Cleanup(func() { g.Close() })
+	jc, err := g.AddServer(ServerConfig{Name: "jc-etl", Open: true, CacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A warehouse with one run view, and a mart it materializes into.
+	cfg := ntuple.Config{Name: "wnt", NVar: 2, NEvents: 30, Runs: 1, Seed: 7}
+	src := NewEngine("w_src", MySQL)
+	t.Cleanup(func() { sqldriver.UnregisterEngine("w_src") })
+	if _, err := ntuple.NewGenerator(cfg).PopulateNormalized(src); err != nil {
+		t.Fatal(err)
+	}
+	wh := NewEngine("w_wh", Oracle)
+	t.Cleanup(func() { sqldriver.UnregisterEngine("w_wh") })
+	if err := warehouse.InitWarehouse(wh, wh.Dialect(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	etl := warehouse.NewETL()
+	if _, err := etl.RunStage1(src, cfg, wh, wh.Dialect()); err != nil {
+		t.Fatal(err)
+	}
+	views := warehouse.RunViews(cfg, wh.Dialect())
+	if err := warehouse.CreateViews(wh, views); err != nil {
+		t.Fatal(err)
+	}
+	mart := NewEngine("w_mart", MySQL)
+	t.Cleanup(func() { sqldriver.UnregisterEngine("w_mart") })
+	if _, err := etl.Materialize(wh, views[0].Name, cfg, mart, mart.Dialect(), "nt_cached"); err != nil {
+		t.Fatal(err)
+	}
+	if err := jc.AddMart(mart); err != nil {
+		t.Fatal(err)
+	}
+	jc.WireETL(etl, "w_mart")
+
+	if _, err := jc.Query("SELECT event_id FROM nt_cached ORDER BY event_id"); err != nil {
+		t.Fatal(err)
+	}
+	if st := jc.Service.CacheStats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+
+	// Stage-2 refresh (truncate + reload): the hook must evict the
+	// dependent entry.
+	if _, err := mart.Exec("DELETE FROM `nt_cached`"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := etl.Materialize(wh, views[0].Name, cfg, mart, mart.Dialect(), "nt_cached"); err != nil {
+		t.Fatal(err)
+	}
+	st := jc.Service.CacheStats()
+	if st.Invalidations == 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want the nt_cached entry evicted", st)
 	}
 }

@@ -22,6 +22,8 @@ import (
 //	dataaccess.addDatabase(xspecURL, driver, url [, user, password])
 //	dataaccess.removeDatabase(name)
 //	dataaccess.sources()                      -> [source names]
+//	system.cachestats()                       -> {enabled, hits, misses, ...}
+//	system.cacheflush()                       -> entries dropped
 func (s *Service) RegisterMethods(srv *clarens.Server) {
 	srv.Register("dataaccess.query", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
 		if len(args) < 1 {
@@ -118,6 +120,24 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 			out[i] = n
 		}
 		return out, nil
+	})
+
+	srv.Register("system.cachestats", func(_ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		st := s.CacheStats()
+		return map[string]interface{}{
+			"enabled":       s.CacheEnabled(),
+			"hits":          st.Hits,
+			"misses":        st.Misses,
+			"evictions":     st.Evictions,
+			"expirations":   st.Expirations,
+			"invalidations": st.Invalidations,
+			"coalesced":     st.Coalesced,
+			"entries":       int64(st.Entries),
+		}, nil
+	})
+
+	srv.Register("system.cacheflush", func(_ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		return int64(s.CacheFlush()), nil
 	})
 }
 

@@ -12,6 +12,7 @@ package dataaccess
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"gridrdb/internal/clarens"
 	"gridrdb/internal/netsim"
 	"gridrdb/internal/poolral"
+	"gridrdb/internal/qcache"
 	"gridrdb/internal/rls"
 	"gridrdb/internal/sqlengine"
 	"gridrdb/internal/unity"
@@ -41,6 +43,19 @@ type Config struct {
 	// DisableRAL forces every query through the Unity path (used by the
 	// routing ablation).
 	DisableRAL bool
+	// CacheSize enables the query-result cache when > 0: up to this many
+	// federated SELECT results are kept and served without re-executing
+	// their sub-queries. Entries are invalidated when the schema-change
+	// tracker detects a change on a source they read from, when a source
+	// is removed, or when a mart re-materialization reports a refresh;
+	// writes applied directly to backends outside those channels are only
+	// bounded by CacheTTL, so keep the cache off (the default) for
+	// workloads that mutate marts out of band.
+	CacheSize int
+	// CacheTTL bounds cached-entry lifetime (0 = no expiry).
+	CacheTTL time.Duration
+	// CacheShards overrides the cache shard count (0 = default).
+	CacheShards int
 }
 
 // Route identifies which module answered a query (§4.5's two modules plus
@@ -70,6 +85,9 @@ type Service struct {
 	cfg Config
 	fed *unity.Federation
 	ral *poolral.RAL
+	// cache holds federated query results keyed by (SQL, params); nil
+	// when Config.CacheSize is 0.
+	cache *qcache.Cache[*QueryResult]
 
 	mu      sync.Mutex
 	remotes map[string]*clarens.Client
@@ -82,13 +100,21 @@ type Service struct {
 
 // New creates an empty service; add databases with AddDatabase.
 func New(cfg Config) *Service {
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		fed:      mustEmptyFederation(),
 		ral:      poolral.New(),
 		remotes:  make(map[string]*clarens.Client),
 		ralConns: make(map[string]string),
 	}
+	if cfg.CacheSize > 0 {
+		s.cache = qcache.New[*QueryResult](qcache.Options{
+			MaxEntries: cfg.CacheSize,
+			TTL:        cfg.CacheTTL,
+			Shards:     cfg.CacheShards,
+		})
+	}
+	return s
 }
 
 func mustEmptyFederation() *unity.Federation {
@@ -129,7 +155,9 @@ func (s *Service) AddDatabase(ref xspec.SourceRef, spec *xspec.LowerSpec, user, 
 	return s.publishTables(spec)
 }
 
-// RemoveDatabase unplugs a database.
+// RemoveDatabase unplugs a database. Cached results that read from it are
+// evicted: they can no longer be recomputed, so serving them would hide
+// the removal.
 func (s *Service) RemoveDatabase(name string) error {
 	if err := s.fed.RemoveSource(name); err != nil {
 		return err
@@ -137,6 +165,7 @@ func (s *Service) RemoveDatabase(name string) error {
 	s.mu.Lock()
 	delete(s.ralConns, name)
 	s.mu.Unlock()
+	s.InvalidateSource(name)
 	return nil
 }
 
@@ -194,9 +223,26 @@ type QueryResult struct {
 }
 
 // Query is the service entry point: parse, route, execute, integrate.
+// When the result cache is enabled, a repeated query is answered from the
+// cache (no sub-queries re-executed) and concurrent identical queries are
+// collapsed into one execution; callers must treat the returned rows as
+// read-only, since hits share one materialized result set.
 func (s *Service) Query(sqlText string, params ...sqlengine.Value) (*QueryResult, error) {
 	s.stats.Queries.Add(1)
+	if s.cache == nil {
+		qr, _, err := s.queryRouted(sqlText, params)
+		return qr, err
+	}
+	qr, _, err := s.cache.Do(cacheKey(sqlText, params), func() (*QueryResult, []qcache.Dep, error) {
+		return s.queryRouted(sqlText, params)
+	})
+	return qr, err
+}
 
+// queryRouted is the uncached routing core; alongside the result it
+// returns the (source, table) set it read from — the cache-invalidation
+// fingerprint of the answer.
+func (s *Service) queryRouted(sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
 	// Fast path: every table is registered locally.
 	plan, err := s.fed.PlanQuery(sqlText)
 	var unknown *unity.ErrUnknownTable
@@ -206,14 +252,24 @@ func (s *Service) Query(sqlText string, params ...sqlengine.Value) (*QueryResult
 	case errors.As(err, &unknown):
 		return s.queryWithRemote(sqlText, params)
 	default:
-		return nil, err
+		return nil, nil, err
 	}
+}
+
+// planDeps converts a unity plan's dependency list to cache deps.
+func planDeps(plan *unity.Plan) []qcache.Dep {
+	pairs := plan.Dependencies()
+	deps := make([]qcache.Dep, len(pairs))
+	for i, p := range pairs {
+		deps[i] = qcache.Dep{Source: p[0], Table: p[1]}
+	}
+	return deps
 }
 
 // queryLocal routes a fully-local query to POOL-RAL or Unity (§4.5: "the
 // data access layer decides which of the two modules to forward the query
 // to by finding out which databases are to be queried").
-func (s *Service) queryLocal(sqlText string, plan *unity.Plan, params []sqlengine.Value) (*QueryResult, error) {
+func (s *Service) queryLocal(sqlText string, plan *unity.Plan, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
 	if !s.cfg.DisableRAL && len(params) == 0 {
 		if parts, ok, err := s.fed.ExtractRALParts(sqlText); err == nil && ok {
 			s.mu.Lock()
@@ -222,50 +278,67 @@ func (s *Service) queryLocal(sqlText string, plan *unity.Plan, params []sqlengin
 			if supported {
 				rs, err := s.ral.QueryValues(conn, parts.Fields, parts.Tables, parts.Where)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				s.stats.RAL.Add(1)
-				return &QueryResult{ResultSet: rs, Route: RoutePOOLRAL, Servers: 1}, nil
+				deps := make([]qcache.Dep, len(plan.Tables))
+				for i, t := range plan.Tables {
+					deps[i] = qcache.Dep{Source: parts.Source, Table: t}
+				}
+				return &QueryResult{ResultSet: rs, Route: RoutePOOLRAL, Servers: 1}, deps, nil
 			}
 		}
 	}
 	rs, err := s.fed.Execute(plan, params...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s.stats.Unity.Add(1)
-	return &QueryResult{ResultSet: rs, Route: RouteUnity, Servers: 1}, nil
+	return &QueryResult{ResultSet: rs, Route: RouteUnity, Servers: 1}, planDeps(plan), nil
 }
+
+// remoteDepPrefix marks cache dependencies on tables served by another
+// JClarens instance. The local schema tracker cannot observe remote
+// schema changes, so entries carrying these deps rely on CacheTTL (or an
+// explicit flush) for freshness.
+const remoteDepPrefix = "remote:"
 
 // queryWithRemote handles queries touching tables this instance does not
 // host: RLS lookup, then either whole-query forwarding (all tables on one
 // remote server) or per-table fetch + local integration.
-func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*QueryResult, error) {
+func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
 	if s.cfg.RLS == nil {
-		return nil, fmt.Errorf("dataaccess: query references unregistered tables and no RLS is configured")
+		return nil, nil, fmt.Errorf("dataaccess: query references unregistered tables and no RLS is configured")
 	}
 	tables, sel, err := unity.TablesInQuery(sqlText)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	local := map[string]bool{}
 	remoteHost := map[string]string{} // table -> chosen server URL
+	var deps []qcache.Dep
 	for _, t := range tables {
 		if s.fed.HasTable(t) {
 			local[t] = true
+			// The federation picks a replica at execution time, so depend
+			// on every local source hosting the table.
+			for _, loc := range s.fed.Dictionary().Lookup(t) {
+				deps = append(deps, qcache.Dep{Source: loc.Database, Table: t})
+			}
 			continue
 		}
 		s.stats.RLSLookups.Add(1)
 		servers, err := s.cfg.RLS.Lookup(t)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		// Never forward to ourselves (stale RLS entries).
 		servers = without(servers, s.cfg.URL)
 		if len(servers) == 0 {
-			return nil, fmt.Errorf("dataaccess: table %q is not registered locally and the RLS knows no server for it", t)
+			return nil, nil, fmt.Errorf("dataaccess: table %q is not registered locally and the RLS knows no server for it", t)
 		}
 		remoteHost[t] = servers[0]
+		deps = append(deps, qcache.Dep{Source: remoteDepPrefix + servers[0], Table: t})
 	}
 
 	// All tables on one remote server: forward the whole query there.
@@ -283,10 +356,10 @@ func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*Qu
 		if same && len(params) == 0 {
 			rs, err := s.forward(single, sqlText)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			s.stats.Forwarded.Add(1)
-			return &QueryResult{ResultSet: rs, Route: RouteRemote, Servers: 2}, nil
+			return &QueryResult{ResultSet: rs, Route: RouteRemote, Servers: 2}, deps, nil
 		}
 	}
 
@@ -305,19 +378,19 @@ func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*Qu
 			serversTouched[remoteHost[t]] = true
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := loadScratch(scratch, t, rs); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	sess := scratch.NewSession()
 	rs, _, err := sess.RunStmt(sel, params)
 	if err != nil {
-		return nil, fmt.Errorf("dataaccess: integration: %w", err)
+		return nil, nil, fmt.Errorf("dataaccess: integration: %w", err)
 	}
 	s.stats.Mixed.Add(1)
-	return &QueryResult{ResultSet: rs, Route: RouteMixed, Servers: 1 + len(serversTouched)}, nil
+	return &QueryResult{ResultSet: rs, Route: RouteMixed, Servers: 1 + len(serversTouched)}, deps, nil
 }
 
 func without(ss []string, drop string) []string {
@@ -375,6 +448,90 @@ func (s *Service) remoteClient(serverURL string) *clarens.Client {
 	c.Clock = s.cfg.Clock
 	s.remotes[serverURL] = c
 	return c
+}
+
+// ---- query result cache ----
+
+// cacheKey derives the cache key for a query: the SQL text plus a
+// kind-tagged, length-prefixed encoding of each parameter. The length
+// prefix makes the encoding injective even when string/bytes values embed
+// NULs or digits, and the kind tag keeps ("1") distinct from (1).
+func cacheKey(sqlText string, params []sqlengine.Value) string {
+	if len(params) == 0 {
+		return sqlText
+	}
+	var b strings.Builder
+	b.WriteString(sqlText)
+	field := func(tag byte, payload string) {
+		b.WriteByte(0)
+		b.WriteByte(tag)
+		b.WriteString(strconv.Itoa(len(payload)))
+		b.WriteByte(':')
+		b.WriteString(payload)
+	}
+	for _, p := range params {
+		switch p.Kind {
+		case sqlengine.KindNull:
+			field('n', "")
+		case sqlengine.KindInt:
+			field('i', strconv.FormatInt(p.Int, 10))
+		case sqlengine.KindFloat:
+			field('f', strconv.FormatFloat(p.Float, 'g', -1, 64))
+		case sqlengine.KindString:
+			field('s', p.Str)
+		case sqlengine.KindBool:
+			field('b', strconv.FormatBool(p.Bool))
+		case sqlengine.KindTime:
+			field('t', p.Time.UTC().Format(time.RFC3339Nano))
+		case sqlengine.KindBytes:
+			field('y', string(p.Bytes))
+		}
+	}
+	return b.String()
+}
+
+// CacheEnabled reports whether the query-result cache is on.
+func (s *Service) CacheEnabled() bool { return s.cache != nil }
+
+// CacheStats snapshots the cache counters (zero when disabled).
+func (s *Service) CacheStats() qcache.Stats {
+	if s.cache == nil {
+		return qcache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+// InvalidateSource evicts every cached result that read from the named
+// source, returning how many entries were dropped.
+func (s *Service) InvalidateSource(source string) int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.InvalidateSource(source)
+}
+
+// InvalidateTable evicts cached results that read (source, table).
+func (s *Service) InvalidateTable(source, table string) int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.InvalidateTable(source, table)
+}
+
+// CacheFlush drops every cached result (operational escape hatch, also
+// exposed as the system.cacheflush XML-RPC method).
+func (s *Service) CacheFlush() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Flush()
+}
+
+// MartInvalidator returns a warehouse.ETL OnRefresh hook: when the ETL
+// re-materializes a table of the named mart, the dependent cache entries
+// are evicted so the next query sees the refreshed rows.
+func (s *Service) MartInvalidator(source string) func(table string) {
+	return func(table string) { s.InvalidateTable(source, strings.ToLower(table)) }
 }
 
 // ---- XML-RPC result codec (shared with the Clarens method layer) ----

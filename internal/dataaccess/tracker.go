@@ -131,6 +131,9 @@ func (t *Tracker) checkSource(name string) (bool, error) {
 	if err := t.svc.fed.ReplaceSpec(name, spec); err != nil {
 		return false, err
 	}
+	// The schema changed under every cached result that read this source;
+	// evict exactly those entries (unrelated entries survive).
+	t.svc.InvalidateSource(name)
 	t.updates.Add(1)
 	return true, nil
 }

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// CacheQuery is the multi-mart scenario measured by the cache experiment:
+// a distributed join whose scatter-gather spans two member databases of
+// server 1.
+const CacheQuery = "SELECT e.event_id, m.detector FROM ev1 e JOIN meta2 m ON e.run = m.run"
+
+// CacheRow is the cold-versus-warm datapoint cmd/benchrepro writes to
+// BENCH_cache.json so the performance trajectory of the caching layer is
+// tracked PR over PR.
+type CacheRow struct {
+	// ColdNsOp is the average federated execution time with the cache
+	// flushed before every query (plan + scatter-gather + integrate).
+	ColdNsOp int64 `json:"cold_ns_op"`
+	// WarmNsOp is the average time once the entry is resident.
+	WarmNsOp int64 `json:"warm_ns_op"`
+	// Speedup is ColdNsOp / WarmNsOp.
+	Speedup float64 `json:"speedup"`
+	// Hits is the cache hit counter after the warm phase (sanity: the
+	// warm numbers really were served from the cache).
+	Hits int64 `json:"hits"`
+}
+
+// RunCache builds a cache-enabled deployment and measures CacheQuery cold
+// (cache flushed each round) and warm (entry resident).
+func RunCache(opt DeployOptions, repeats int) (CacheRow, error) {
+	if repeats <= 0 {
+		repeats = 5
+	}
+	if opt.CacheSize <= 0 {
+		opt.CacheSize = 1024
+	}
+	d, err := Deploy(opt)
+	if err != nil {
+		return CacheRow{}, err
+	}
+	defer d.Close()
+
+	var row CacheRow
+	var cold time.Duration
+	for i := 0; i < repeats; i++ {
+		d.Serv1.CacheFlush()
+		start := time.Now()
+		if _, err := d.Serv1.Query(CacheQuery); err != nil {
+			return row, fmt.Errorf("cache cold: %w", err)
+		}
+		cold += time.Since(start)
+	}
+
+	if _, err := d.Serv1.Query(CacheQuery); err != nil { // prime
+		return row, err
+	}
+	var warm time.Duration
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		if _, err := d.Serv1.Query(CacheQuery); err != nil {
+			return row, fmt.Errorf("cache warm: %w", err)
+		}
+		warm += time.Since(start)
+	}
+
+	row.ColdNsOp = cold.Nanoseconds() / int64(repeats)
+	row.WarmNsOp = warm.Nanoseconds() / int64(repeats)
+	if row.WarmNsOp > 0 {
+		row.Speedup = float64(row.ColdNsOp) / float64(row.WarmNsOp)
+	}
+	row.Hits = d.Serv1.CacheStats().Hits
+	return row, nil
+}

@@ -157,6 +157,10 @@ type DeployOptions struct {
 	// SessionPooling re-creates 2005-era per-query connections on the
 	// Unity path when true (the paper's measured behaviour).
 	SessionPooling bool
+	// CacheSize enables the per-server query-result cache (entries).
+	CacheSize int
+	// CacheTTL bounds cached-entry lifetime (0 = no expiry).
+	CacheTTL time.Duration
 }
 
 // SmallDeploy returns options sized for unit tests and quick benchmarks.
@@ -207,7 +211,10 @@ func Deploy(opt DeployOptions) (*Deployment, error) {
 	mkService := func(name string) (*dataaccess.Service, *clarens.Server, string, error) {
 		rc := rls.NewClient(rlsURL)
 		rc.Profile = opt.Profile
-		svc := dataaccess.New(dataaccess.Config{Name: name, RLS: rc, Profile: opt.Profile})
+		svc := dataaccess.New(dataaccess.Config{
+			Name: name, RLS: rc, Profile: opt.Profile,
+			CacheSize: opt.CacheSize, CacheTTL: opt.CacheTTL,
+		})
 		front := clarens.NewServer(true)
 		svc.RegisterMethods(front)
 		url, err := front.Start("127.0.0.1:0")

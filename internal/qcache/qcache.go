@@ -1,0 +1,373 @@
+// Package qcache is the query-result cache of the data access layer: a
+// sharded, TTL'd LRU keyed by the normalized query text (plus parameter
+// fingerprint), with singleflight collapsing of concurrent identical
+// queries and per-entry (source, table) dependency fingerprints so that a
+// schema change or mart re-materialization evicts exactly the entries
+// that read from the changed database — nothing more.
+//
+// The cache is deliberately ignorant of SQL: callers hand it an opaque
+// key, a value, and the set of (source, table) pairs the value was
+// computed from. Invalidation walks a reverse index from dependency to
+// keys, so InvalidateSource / InvalidateTable are O(dependent entries),
+// not O(cache size).
+package qcache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dep names one dependency of a cached result: a member database and one
+// of its logical tables. Table "" means "the whole source" (used for
+// results whose exact table set is unknown, e.g. whole-query pushdowns of
+// unparsed SQL).
+type Dep struct {
+	Source string
+	Table  string
+}
+
+// Options configures a Cache.
+type Options struct {
+	// MaxEntries bounds the total entry count across all shards;
+	// <= 0 selects the default (1024).
+	MaxEntries int
+	// TTL bounds entry lifetime; <= 0 disables expiry.
+	TTL time.Duration
+	// Shards is the shard count (rounded up to a power of two);
+	// <= 0 selects the default (16).
+	Shards int
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64 // LRU capacity evictions
+	Expirations   int64 // TTL lapses observed on Get
+	Invalidations int64 // entries removed by dependency invalidation
+	Coalesced     int64 // callers that piggybacked on an in-flight compute
+	Entries       int   // current live entries
+}
+
+const (
+	defaultMaxEntries = 1024
+	defaultShards     = 16
+)
+
+// entry is one cached value with its LRU hook and dependency list.
+type entry[V any] struct {
+	key     string
+	val     V
+	deps    []Dep
+	expires time.Time // zero = never
+	elem    *list.Element
+}
+
+// shard is one independently locked slice of the cache.
+type shard[V any] struct {
+	mu  sync.Mutex
+	ent map[string]*entry[V]
+	lru *list.List // front = most recent; values are *entry[V]
+	cap int
+	// byDep indexes live keys by exact (source, table) dependency, and
+	// bySource by source alone, so both invalidation granularities are
+	// direct lookups.
+	byDep    map[Dep]map[string]struct{}
+	bySource map[string]map[string]struct{}
+}
+
+// call is one in-flight singleflight computation.
+type call[V any] struct {
+	wg   sync.WaitGroup
+	val  V
+	deps []Dep
+	err  error
+}
+
+// Cache is a sharded TTL'd LRU with dependency invalidation.
+type Cache[V any] struct {
+	opts   Options
+	shards []*shard[V]
+	mask   uint32
+
+	fmu    sync.Mutex
+	flight map[string]*call[V]
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	expirations   atomic.Int64
+	invalidations atomic.Int64
+	coalesced     atomic.Int64
+
+	// epoch counts invalidation events. Do snapshots it before running
+	// fn and skips the Put when it moved: an invalidation that raced the
+	// computation may target exactly the data fn read, and a result
+	// computed from pre-invalidation state must not outlive it. (Global,
+	// so it is conservative — any concurrent invalidation suppresses the
+	// insert — but invalidations are rare next to queries.)
+	epoch atomic.Int64
+}
+
+// New creates a cache with the given options.
+func New[V any](opts Options) *Cache[V] {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = defaultMaxEntries
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards
+	}
+	n := 1
+	for n < opts.Shards {
+		n <<= 1
+	}
+	if n > opts.MaxEntries {
+		// Never more shards than capacity: each shard holds >= 1 entry.
+		for n > 1 && n > opts.MaxEntries {
+			n >>= 1
+		}
+	}
+	c := &Cache[V]{opts: opts, mask: uint32(n - 1), flight: make(map[string]*call[V])}
+	per := opts.MaxEntries / n
+	rem := opts.MaxEntries % n
+	for i := 0; i < n; i++ {
+		cap := per
+		if i < rem {
+			cap++
+		}
+		c.shards = append(c.shards, &shard[V]{
+			ent:      make(map[string]*entry[V]),
+			lru:      list.New(),
+			cap:      cap,
+			byDep:    make(map[Dep]map[string]struct{}),
+			bySource: make(map[string]map[string]struct{}),
+		})
+	}
+	return c
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()&c.mask]
+}
+
+// Get returns the cached value for key, bumping it to most-recent.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	return c.get(key, true)
+}
+
+// get implements Get; count=false skips the hit/miss counters (used by
+// Do's post-registration re-check so one lookup is not counted twice).
+func (c *Cache[V]) get(key string, count bool) (V, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.ent[key]
+	if ok && !e.expires.IsZero() && time.Now().After(e.expires) {
+		sh.removeLocked(e)
+		c.expirations.Add(1)
+		ok = false
+	}
+	if !ok {
+		sh.mu.Unlock()
+		if count {
+			c.misses.Add(1)
+		}
+		var zero V
+		return zero, false
+	}
+	sh.lru.MoveToFront(e.elem)
+	v := e.val
+	sh.mu.Unlock()
+	if count {
+		c.hits.Add(1)
+	}
+	return v, true
+}
+
+// Put stores a value with its dependency set, evicting LRU entries past
+// the shard's capacity.
+func (c *Cache[V]) Put(key string, val V, deps []Dep) {
+	sh := c.shardFor(key)
+	var expires time.Time
+	if c.opts.TTL > 0 {
+		expires = time.Now().Add(c.opts.TTL)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if old, ok := sh.ent[key]; ok {
+		sh.removeLocked(old)
+	}
+	e := &entry[V]{key: key, val: val, deps: deps, expires: expires}
+	e.elem = sh.lru.PushFront(e)
+	sh.ent[key] = e
+	for _, d := range deps {
+		addIndex(sh.byDep, d, key)
+		addIndex(sh.bySource, d.Source, key)
+	}
+	for sh.lru.Len() > sh.cap {
+		oldest := sh.lru.Back()
+		if oldest == nil {
+			break
+		}
+		sh.removeLocked(oldest.Value.(*entry[V]))
+		c.evictions.Add(1)
+	}
+}
+
+func addIndex[K comparable](idx map[K]map[string]struct{}, k K, key string) {
+	set, ok := idx[k]
+	if !ok {
+		set = make(map[string]struct{})
+		idx[k] = set
+	}
+	set[key] = struct{}{}
+}
+
+func dropIndex[K comparable](idx map[K]map[string]struct{}, k K, key string) {
+	if set, ok := idx[k]; ok {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(idx, k)
+		}
+	}
+}
+
+// removeLocked unlinks an entry from the map, the LRU list and both
+// dependency indexes. The shard lock must be held.
+func (sh *shard[V]) removeLocked(e *entry[V]) {
+	delete(sh.ent, e.key)
+	sh.lru.Remove(e.elem)
+	for _, d := range e.deps {
+		dropIndex(sh.byDep, d, e.key)
+		dropIndex(sh.bySource, d.Source, e.key)
+	}
+}
+
+// Do is the cache's read-through entry point: return the cached value for
+// key, or run fn exactly once — concurrent callers with the same key wait
+// for the first caller's result instead of re-executing (singleflight) —
+// and cache its result on success. The bool reports whether the value was
+// served without running fn (a cache hit or a coalesced wait).
+func (c *Cache[V]) Do(key string, fn func() (V, []Dep, error)) (V, bool, error) {
+	if v, ok := c.Get(key); ok {
+		return v, true, nil
+	}
+	c.fmu.Lock()
+	if cl, ok := c.flight[key]; ok {
+		c.fmu.Unlock()
+		c.coalesced.Add(1)
+		cl.wg.Wait()
+		return cl.val, true, cl.err
+	}
+	cl := &call[V]{}
+	cl.wg.Add(1)
+	c.flight[key] = cl
+	c.fmu.Unlock()
+
+	// Re-check under flight ownership: a Put may have landed between the
+	// miss and the flight registration.
+	if v, ok := c.get(key, false); ok {
+		cl.val, cl.err = v, nil
+		c.finish(key, cl)
+		return v, true, nil
+	}
+	epoch := c.epoch.Load()
+	cl.val, cl.deps, cl.err = fn()
+	if cl.err == nil && c.epoch.Load() == epoch {
+		c.Put(key, cl.val, cl.deps)
+	}
+	c.finish(key, cl)
+	return cl.val, false, cl.err
+}
+
+func (c *Cache[V]) finish(key string, cl *call[V]) {
+	c.fmu.Lock()
+	delete(c.flight, key)
+	c.fmu.Unlock()
+	cl.wg.Done()
+}
+
+// InvalidateSource evicts every entry that depends on any table of the
+// given source; it returns the number of entries removed.
+func (c *Cache[V]) InvalidateSource(source string) int {
+	c.epoch.Add(1)
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for key := range sh.bySource[source] {
+			if e, ok := sh.ent[key]; ok {
+				sh.removeLocked(e)
+				total++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.invalidations.Add(int64(total))
+	return total
+}
+
+// InvalidateTable evicts every entry that depends on (source, table),
+// including entries registered with the whole-source Dep{Source, ""}.
+func (c *Cache[V]) InvalidateTable(source, table string) int {
+	c.epoch.Add(1)
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for _, d := range []Dep{{Source: source, Table: table}, {Source: source}} {
+			for key := range sh.byDep[d] {
+				if e, ok := sh.ent[key]; ok {
+					sh.removeLocked(e)
+					total++
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.invalidations.Add(int64(total))
+	return total
+}
+
+// Flush drops every entry, returning how many were removed.
+func (c *Cache[V]) Flush() int {
+	c.epoch.Add(1)
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		total += len(sh.ent)
+		sh.ent = make(map[string]*entry[V])
+		sh.lru.Init()
+		sh.byDep = make(map[Dep]map[string]struct{})
+		sh.bySource = make(map[string]map[string]struct{})
+		sh.mu.Unlock()
+	}
+	c.invalidations.Add(int64(total))
+	return total
+}
+
+// Len reports the current number of live entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.ent)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Expirations:   c.expirations.Load(),
+		Invalidations: c.invalidations.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Entries:       c.Len(),
+	}
+}

@@ -1,0 +1,252 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutHitMiss(t *testing.T) {
+	c := New[string](Options{MaxEntries: 8})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", "v", []Dep{{Source: "s1", Table: "t1"}})
+	v, ok := c.Get("k")
+	if !ok || v != "v" {
+		t.Fatalf("got (%q, %v), want (v, true)", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single shard so the LRU order is global and deterministic.
+	c := New[int](Options{MaxEntries: 3, Shards: 1})
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, nil)
+	}
+	c.Get("k0") // bump k0: k1 is now the oldest
+	c.Put("k3", 3, nil)
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8, TTL: 10 * time.Millisecond})
+	c.Put("k", 1, nil)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired entry should miss")
+	}
+	if st := c.Stats(); st.Expirations != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDependencyInvalidation(t *testing.T) {
+	c := New[int](Options{MaxEntries: 64})
+	c.Put("q1", 1, []Dep{{Source: "s1", Table: "events"}})
+	c.Put("q2", 2, []Dep{{Source: "s1", Table: "runs"}})
+	c.Put("q3", 3, []Dep{{Source: "s2", Table: "events"}})
+	c.Put("q4", 4, []Dep{{Source: "s1", Table: "events"}, {Source: "s2", Table: "meta"}})
+	c.Put("q5", 5, []Dep{{Source: "s1"}}) // whole-source dependency
+
+	// Exact table invalidation: q1 and q4 read (s1, events); q5 depends on
+	// all of s1.
+	if n := c.InvalidateTable("s1", "events"); n != 3 {
+		t.Fatalf("InvalidateTable removed %d, want 3", n)
+	}
+	for _, k := range []string{"q1", "q4", "q5"} {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("%s should be gone", k)
+		}
+	}
+	for _, k := range []string{"q2", "q3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+
+	// Source invalidation: only q2 still depends on s1.
+	if n := c.InvalidateSource("s1"); n != 1 {
+		t.Fatalf("InvalidateSource removed %d, want 1", n)
+	}
+	if _, ok := c.Get("q3"); !ok {
+		t.Fatal("q3 (s2-only) should have survived")
+	}
+	if st := c.Stats(); st.Invalidations != 4 {
+		t.Fatalf("invalidations = %d, want 4", st.Invalidations)
+	}
+}
+
+func TestEvictionCleansDepIndex(t *testing.T) {
+	c := New[int](Options{MaxEntries: 1, Shards: 1})
+	c.Put("q1", 1, []Dep{{Source: "s1", Table: "t"}})
+	c.Put("q2", 2, []Dep{{Source: "s1", Table: "t"}}) // evicts q1
+	if n := c.InvalidateTable("s1", "t"); n != 1 {
+		t.Fatalf("invalidated %d, want 1 (evicted entry must leave the index)", n)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	c.Put("a", 1, nil)
+	c.Put("b", 2, []Dep{{Source: "s", Table: "t"}})
+	if n := c.Flush(); n != 2 {
+		t.Fatalf("flushed %d, want 2", n)
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after flush")
+	}
+	if n := c.InvalidateTable("s", "t"); n != 0 {
+		t.Fatalf("stale dep index after flush: %d", n)
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	var computes atomic.Int64
+	const workers = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, _, err := c.Do("k", func() (int, []Dep, error) {
+				computes.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the collapse window
+				return 42, nil, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	st := c.Stats()
+	if st.Coalesced != workers-1 {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, workers-1)
+	}
+	// A later call is a plain hit.
+	if _, cached, _ := c.Do("k", func() (int, []Dep, error) {
+		t.Fatal("fn should not run on a hit")
+		return 0, nil, nil
+	}); !cached {
+		t.Fatal("want cached result")
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	wantErr := errors.New("boom")
+	if _, _, err := c.Do("k", func() (int, []Dep, error) { return 0, nil, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result must not be cached")
+	}
+	// The key is retried after an error.
+	v, cached, err := c.Do("k", func() (int, []Dep, error) { return 7, nil, nil })
+	if err != nil || cached || v != 7 {
+		t.Fatalf("retry = (%d, %v, %v)", v, cached, err)
+	}
+}
+
+// TestConcurrentHammer drives every operation from many goroutines at
+// once; run with -race to verify the locking discipline.
+func TestConcurrentHammer(t *testing.T) {
+	c := New[int](Options{MaxEntries: 128, Shards: 8, TTL: 50 * time.Millisecond})
+	sources := []string{"s1", "s2", "s3"}
+	const (
+		workers = 12
+		rounds  = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("q%d", i%50)
+				src := sources[i%len(sources)]
+				switch (w + i) % 5 {
+				case 0:
+					c.Put(key, i, []Dep{{Source: src, Table: "t"}})
+				case 1:
+					c.Get(key)
+				case 2:
+					c.Do(key, func() (int, []Dep, error) {
+						return i, []Dep{{Source: src, Table: "t"}}, nil
+					})
+				case 3:
+					c.InvalidateTable(src, "t")
+				case 4:
+					if i%97 == 0 {
+						c.Flush()
+					} else {
+						c.InvalidateSource(src)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The cache must still be coherent: every surviving entry reachable,
+	// counters sane.
+	st := c.Stats()
+	if st.Entries != c.Len() {
+		t.Fatalf("stats entries %d != len %d", st.Entries, c.Len())
+	}
+	if st.Entries > 128 {
+		t.Fatalf("entries %d exceed capacity", st.Entries)
+	}
+}
+
+// TestInvalidationDuringComputeSuppressesPut covers the race between an
+// in-flight computation and an invalidation: a result computed from
+// pre-invalidation state must not be inserted after the invalidation.
+func TestInvalidationDuringComputeSuppressesPut(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	v, cached, err := c.Do("k", func() (int, []Dep, error) {
+		// The mart is refreshed while the query is still executing.
+		c.InvalidateTable("s1", "t")
+		return 1, []Dep{{Source: "s1", Table: "t"}}, nil
+	})
+	if err != nil || cached || v != 1 {
+		t.Fatalf("Do = (%d, %v, %v)", v, cached, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("stale result was cached past the racing invalidation")
+	}
+	// The next call recomputes and caches normally.
+	if _, cached, _ := c.Do("k", func() (int, []Dep, error) { return 2, nil, nil }); cached {
+		t.Fatal("want recompute")
+	}
+	if c.Len() != 1 {
+		t.Fatal("post-race insert should stick")
+	}
+}

@@ -16,8 +16,10 @@
 package unity
 
 import (
+	"context"
 	"database/sql"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +66,12 @@ type Federation struct {
 	// allow parallel execution of a query on multiple databases"; this is
 	// on by default and switched off for the baseline ablation.
 	Parallel bool
+
+	// MaxParallel bounds the scatter-gather worker pool: at most this many
+	// sub-queries of one query run concurrently. <= 0 selects the default
+	// (2 x GOMAXPROCS, capped at 16). The bound keeps a wide federated
+	// query from opening one goroutine-plus-connection per mart at once.
+	MaxParallel int
 
 	rr atomic.Int64 // round-robin tiebreaker
 
@@ -688,50 +696,118 @@ func exprPushable(e sqlengine.Expr, qualifier string, loc xspec.TableLocation) b
 
 // ---- execution ----
 
+// Dependencies lists the (source, logical table) pairs a plan reads from;
+// the data access layer records them as the cache-invalidation
+// fingerprint of the query's result.
+func (p *Plan) Dependencies() [][2]string {
+	var out [][2]string
+	if p.Pushdown {
+		for _, t := range p.Tables {
+			out = append(out, [2]string{p.pushSource, t})
+		}
+		return out
+	}
+	for _, ld := range p.loads {
+		out = append(out, [2]string{ld.source, ld.logical})
+	}
+	return out
+}
+
 // Query plans and executes a federated query, returning the merged result.
 func (f *Federation) Query(sqlText string, params ...sqlengine.Value) (*sqlengine.ResultSet, error) {
+	return f.QueryContext(context.Background(), sqlText, params...)
+}
+
+// QueryContext is Query with cancellation.
+func (f *Federation) QueryContext(ctx context.Context, sqlText string, params ...sqlengine.Value) (*sqlengine.ResultSet, error) {
 	plan, err := f.PlanQuery(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return f.Execute(plan, params...)
+	return f.ExecuteContext(ctx, plan, params...)
 }
 
 // Execute runs a previously produced plan.
 func (f *Federation) Execute(plan *Plan, params ...sqlengine.Value) (*sqlengine.ResultSet, error) {
+	return f.ExecuteContext(context.Background(), plan, params...)
+}
+
+// maxParallel resolves the worker-pool width for n pending sub-queries.
+func (f *Federation) maxParallel(n int) int {
+	w := f.MaxParallel
+	if w <= 0 {
+		w = 2 * runtime.GOMAXPROCS(0)
+		if w > 16 {
+			w = 16
+		}
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// ExecuteContext runs a previously produced plan. Decomposed plans
+// scatter their per-table sub-queries over a bounded worker pool and
+// gather the partial results, so latency is the max over sources rather
+// than the sum; the first sub-query error cancels the context handed to
+// the remaining ones.
+func (f *Federation) ExecuteContext(ctx context.Context, plan *Plan, params ...sqlengine.Value) (*sqlengine.ResultSet, error) {
 	f.queries.Add(1)
 	if plan.Pushdown {
 		f.pushdowns.Add(1)
 		f.subqueries.Add(1)
-		return f.runOnSource(plan.pushSource, plan.Subs[0].SQL, params)
+		return f.runOnSourceCtx(ctx, plan.pushSource, plan.Subs[0].SQL, params)
 	}
 
 	// Decomposed: fetch every table load (possibly in parallel), then
 	// integrate on a scratch engine.
-	type loadResult struct {
-		idx int
-		rs  *sqlengine.ResultSet
-		err error
-	}
 	results := make([]*sqlengine.ResultSet, len(plan.loads))
 	if f.Parallel && len(plan.loads) > 1 {
-		ch := make(chan loadResult, len(plan.loads))
-		for i, ld := range plan.loads {
-			go func(i int, ld tableLoad) {
-				rs, err := f.runOnSource(ld.source, ld.sql, nil)
-				ch <- loadResult{idx: i, rs: rs, err: err}
-			}(i, ld)
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var (
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			firstErr error
+		)
+		jobs := make(chan int)
+		for w := 0; w < f.maxParallel(len(plan.loads)); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					if ctx.Err() != nil {
+						continue // a sibling failed; drain without executing
+					}
+					rs, err := f.runOnSourceCtx(ctx, plan.loads[i].source, plan.loads[i].sql, nil)
+					if err != nil {
+						errOnce.Do(func() {
+							firstErr = err
+							cancel()
+						})
+						continue
+					}
+					results[i] = rs
+				}
+			}()
 		}
-		for range plan.loads {
-			r := <-ch
-			if r.err != nil {
-				return nil, r.err
-			}
-			results[r.idx] = r.rs
+		for i := range plan.loads {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		if firstErr == nil && ctx.Err() != nil {
+			// The caller's context was cancelled before any worker ran its
+			// job (the drain path records no error of its own).
+			firstErr = ctx.Err()
+		}
+		if firstErr != nil {
+			return nil, firstErr
 		}
 	} else {
 		for i, ld := range plan.loads {
-			rs, err := f.runOnSource(ld.source, ld.sql, nil)
+			rs, err := f.runOnSourceCtx(ctx, ld.source, ld.sql, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -793,6 +869,11 @@ func kindFromName(name string) sqlengine.Kind {
 
 // runOnSource executes SQL on one member database through database/sql.
 func (f *Federation) runOnSource(source, sqlText string, params []sqlengine.Value) (*sqlengine.ResultSet, error) {
+	return f.runOnSourceCtx(context.Background(), source, sqlText, params)
+}
+
+// runOnSourceCtx is runOnSource under a cancellable context.
+func (f *Federation) runOnSourceCtx(ctx context.Context, source, sqlText string, params []sqlengine.Value) (*sqlengine.ResultSet, error) {
 	f.mu.RLock()
 	s, ok := f.sources[source]
 	f.mu.RUnlock()
@@ -805,7 +886,7 @@ func (f *Federation) runOnSource(source, sqlText string, params []sqlengine.Valu
 	for i, p := range params {
 		args[i] = p
 	}
-	rows, err := s.db.Query(sqlText, args...)
+	rows, err := s.db.QueryContext(ctx, sqlText, args...)
 	if err != nil {
 		return nil, fmt.Errorf("unity: source %q: %w", source, err)
 	}

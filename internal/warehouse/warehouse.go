@@ -59,6 +59,12 @@ type ETL struct {
 	Clock *netsim.Clock
 	// BatchSize is the number of rows per INSERT batch when loading.
 	BatchSize int
+	// OnRefresh, when set, is called with the mart table name after a
+	// successful Materialize. The data access layer hangs query-result
+	// cache invalidation here (Service.MartInvalidator), so re-running
+	// Stage 2 evicts exactly the cached queries that read the refreshed
+	// table.
+	OnRefresh func(martTable string)
 }
 
 // NewETL returns an ETL in the paper's configuration: temp-file staging on.
@@ -485,8 +491,12 @@ func (e *ETL) Materialize(wh Queryer, view string, cfg ntuple.Config, mart DB, m
 			return StageResult{}, fmt.Errorf("warehouse: create mart table %s: %w", martTable, err)
 		}
 	}
-	return e.transfer(
+	res, err := e.transfer(
 		func(w io.Writer) (int64, int64, error) { return e.ExtractView(wh, view, w) },
 		func(r io.Reader) (int64, error) { return e.LoadStaged(mart, martDialect, martTable, r) },
 	)
+	if err == nil && e.OnRefresh != nil {
+		e.OnRefresh(martTable)
+	}
+	return res, err
 }
