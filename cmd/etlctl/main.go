@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"gridrdb/internal/clarens"
 	"gridrdb/internal/ntuple"
@@ -72,6 +74,7 @@ func main() {
 	direct := flag.Bool("direct", false, "stream directly instead of staging through a temp file")
 	makeViews := flag.Bool("create-views", false, "stage 1: also create per-run views on the warehouse")
 	notify := flag.String("notify", "", "JClarens server URL whose query-result cache to flush after a mart refresh")
+	notifyTimeout := flag.Duration("notify-timeout", 10*time.Second, "deadline for the -notify cache-flush call (0 = none)")
 	flag.Parse()
 
 	cfg := ntuple.Config{Name: *name, NVar: *nvar, Runs: 4}
@@ -142,7 +145,13 @@ func main() {
 		if *notify != "" {
 			// The mart's contents changed under the serving instance's
 			// query-result cache; drop its entries so clients see fresh rows.
-			dropped, err := clarens.NewClient(*notify).Call("system.cacheflush")
+			ctx := context.Background()
+			if *notifyTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *notifyTimeout)
+				defer cancel()
+			}
+			dropped, err := clarens.NewClient(*notify).CallContext(ctx, "system.cacheflush")
 			if err != nil {
 				log.Fatalf("etlctl: notify %s: %v", *notify, err)
 			}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gridql -server http://host:9410 [-user u -password p] "SELECT ..."
+//	gridql -server http://host:9410 [-user u -password p] [-timeout 30s] "SELECT ..."
 //	gridql -server http://host:9410 -tables
 //	gridql -server http://host:9410 -schema events
 //	gridql -server http://host:9410 -cache
@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,18 +31,26 @@ func main() {
 	schema := flag.String("schema", "", "print a table's schema and exit")
 	cache := flag.Bool("cache", false, "print the server's query-result cache stats and exit")
 	cacheFlush := flag.Bool("cache-flush", false, "drop the server's query-result cache and exit")
+	timeout := flag.Duration("timeout", 0, "abandon the call after this long (0 = no deadline); the server cancels the query's backend work")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	c := clarens.NewClient(*server)
 	if *user != "" {
-		if err := c.Login(*user, *password); err != nil {
+		if err := c.LoginContext(ctx, *user, *password); err != nil {
 			log.Fatalf("gridql: login: %v", err)
 		}
 	}
 
 	switch {
 	case *cache:
-		res, err := c.Call("system.cachestats")
+		res, err := c.CallContext(ctx, "system.cachestats")
 		if err != nil {
 			log.Fatalf("gridql: %v", err)
 		}
@@ -51,13 +60,13 @@ func main() {
 			fmt.Printf("  %-14s %v\n", k, m[k])
 		}
 	case *cacheFlush:
-		res, err := c.Call("system.cacheflush")
+		res, err := c.CallContext(ctx, "system.cacheflush")
 		if err != nil {
 			log.Fatalf("gridql: %v", err)
 		}
 		fmt.Printf("dropped %v cached entries\n", res)
 	case *tables:
-		res, err := c.Call("dataaccess.tables")
+		res, err := c.CallContext(ctx, "dataaccess.tables")
 		if err != nil {
 			log.Fatalf("gridql: %v", err)
 		}
@@ -65,7 +74,7 @@ func main() {
 			fmt.Println(t)
 		}
 	case *schema != "":
-		res, err := c.Call("dataaccess.schema", *schema)
+		res, err := c.CallContext(ctx, "dataaccess.schema", *schema)
 		if err != nil {
 			log.Fatalf("gridql: %v", err)
 		}
@@ -81,7 +90,13 @@ func main() {
 		if query == "" {
 			log.Fatal("gridql: no query given (or use -tables / -schema)")
 		}
-		res, err := c.Call("dataaccess.query", query)
+		res, err := c.CallContext(ctx, "dataaccess.query", query)
+		if clarens.IsCancelled(err) {
+			if *timeout > 0 {
+				log.Fatalf("gridql: query abandoned after -timeout %s (the server cancels its backend work): %v", *timeout, err)
+			}
+			log.Fatalf("gridql: query cancelled server-side (its request deadline expired): %v", err)
+		}
 		if err != nil {
 			log.Fatalf("gridql: %v", err)
 		}

@@ -31,6 +31,7 @@
 package gridrdb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -118,6 +119,12 @@ type ServerConfig struct {
 	CacheSize int
 	// CacheTTL bounds cached-entry lifetime (0 = no expiry).
 	CacheTTL time.Duration
+	// RequestTimeout bounds each XML-RPC method call's execution server-
+	// side (0 = none): the context handed to methods — and threaded into
+	// every backend the query touches — carries this deadline in addition
+	// to client-disconnect cancellation. Calls cut off by it fail with
+	// the FaultCancelled XML-RPC fault code.
+	RequestTimeout time.Duration
 }
 
 // Server is one running JClarens instance: the data access service plus
@@ -149,6 +156,14 @@ func (s *Server) AddMart(e *Engine) error {
 // Query runs a federated query on this server.
 func (s *Server) Query(sql string, params ...Value) (*QueryResult, error) {
 	return s.Service.Query(sql, params...)
+}
+
+// QueryContext runs a federated query under a caller-supplied context:
+// cancellation or deadline expiry propagates to every backend the routed
+// query touches (POOL-RAL, Unity sub-queries, RLS lookups and remote
+// forwards).
+func (s *Server) QueryContext(ctx context.Context, sql string, params ...Value) (*QueryResult, error) {
+	return s.Service.QueryContext(ctx, sql, params...)
 }
 
 // WireETL connects an in-process ETL pipeline to this server's query
@@ -220,6 +235,7 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 	}
 	svc := dataaccess.New(dcfg)
 	front := clarens.NewServer(cfg.Open)
+	front.SetRequestTimeout(cfg.RequestTimeout)
 	for u, p := range cfg.Users {
 		front.AddUser(u, p)
 	}

@@ -2,7 +2,10 @@ package clarens
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"fmt"
 	"net"
@@ -14,10 +17,13 @@ import (
 	"gridrdb/internal/netsim"
 )
 
-// Method is one service endpoint. Args and the result use the XML-RPC
+// Method is one service endpoint. The context derives from the HTTP
+// request (plus the server's per-request deadline, when configured), so
+// it is cancelled when the client disconnects; long-running methods must
+// pass it down to their backends. Args and the result use the XML-RPC
 // value family (nil, bool, int64, float64, string, time.Time, []byte,
 // []interface{}, map[string]interface{}).
-type Method func(ctx *CallContext, args []interface{}) (interface{}, error)
+type Method func(ctx context.Context, call *CallContext, args []interface{}) (interface{}, error)
 
 // CallContext carries per-call information to methods.
 type CallContext struct {
@@ -32,14 +38,21 @@ const sessionHeader = "X-Clarens-Session"
 
 // Server is a JClarens-style XML-RPC service host.
 type Server struct {
-	mu       sync.RWMutex
-	methods  map[string]Method
-	users    map[string]string
-	sessions map[string]sessionInfo
-	open     bool // no authentication required
-	ln       net.Listener
-	srv      *http.Server
-	baseURL  string
+	mu      sync.RWMutex
+	methods map[string]Method
+	// users maps user -> SHA-256 digest of the password. Storing the
+	// fixed-size digest keeps the login compare's timing independent of
+	// the stored password's length and of whether the user exists.
+	users     map[string][sha256.Size]byte
+	sessions  map[string]sessionInfo
+	open      bool // no authentication required
+	timeout   time.Duration
+	checks    int       // checkSession calls since the last expiry sweep
+	lastSweep time.Time // when the last expiry sweep ran
+	ln        net.Listener
+	srv       *http.Server
+	baseURL   string
+	now       func() time.Time // injectable clock for session-expiry tests
 }
 
 type sessionInfo struct {
@@ -50,20 +63,31 @@ type sessionInfo struct {
 // sessionTTL bounds how long a login is valid.
 const sessionTTL = time.Hour
 
+// sweepEvery bounds how many session checks may pass between expiry
+// sweeps, so abandoned tokens cannot accumulate without bound under
+// login churn even when their owners never present them again.
+const sweepEvery = 64
+
+// sweepInterval bounds how often the login path may sweep: the scan is
+// O(sessions) under the write lock, so a login burst pays it at most
+// once per interval instead of once per login.
+const sweepInterval = time.Minute
+
 // NewServer creates a server. With open=true no login is required (the
 // paper's test deployment); otherwise clients must call system.login
 // first.
 func NewServer(open bool) *Server {
 	s := &Server{
 		methods:  make(map[string]Method),
-		users:    make(map[string]string),
+		users:    make(map[string][sha256.Size]byte),
 		sessions: make(map[string]sessionInfo),
 		open:     open,
+		now:      time.Now,
 	}
-	s.Register("system.echo", func(_ *CallContext, args []interface{}) (interface{}, error) {
+	s.Register("system.echo", func(_ context.Context, _ *CallContext, args []interface{}) (interface{}, error) {
 		return args, nil
 	})
-	s.Register("system.listMethods", func(_ *CallContext, _ []interface{}) (interface{}, error) {
+	s.Register("system.listMethods", func(_ context.Context, _ *CallContext, _ []interface{}) (interface{}, error) {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		var out []interface{}
@@ -75,11 +99,26 @@ func NewServer(open bool) *Server {
 	return s
 }
 
+// SetRequestTimeout bounds each method call's execution: the context
+// handed to methods carries this deadline in addition to the client-
+// disconnect cancellation. Zero (the default) applies no deadline.
+func (s *Server) SetRequestTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.timeout = d
+}
+
+func (s *Server) requestTimeout() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.timeout
+}
+
 // AddUser registers login credentials.
 func (s *Server) AddUser(user, password string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.users[user] = password
+	s.users[user] = sha256.Sum256([]byte(password))
 }
 
 // Register installs a method under a dotted name ("dataaccess.query").
@@ -142,7 +181,7 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx := &CallContext{Remote: r.RemoteAddr}
+	call := &CallContext{Remote: r.RemoteAddr}
 	if !s.open {
 		token := r.Header.Get(sessionHeader)
 		user, ok := s.checkSession(token)
@@ -150,7 +189,7 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 			s.writeFault(w, &Fault{Code: FaultAuth, Message: "authentication required (call system.login)"})
 			return
 		}
-		ctx.User = user
+		call.User = user
 	}
 
 	s.mu.RLock()
@@ -160,13 +199,18 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		s.writeFault(w, &Fault{Code: FaultNoMethod, Message: fmt.Sprintf("no such method %q", method)})
 		return
 	}
-	result, err := m(ctx, args)
+	// The method context derives from the request: it is cancelled when
+	// the client disconnects, and bounded by the server's per-request
+	// deadline when one is configured.
+	ctx := r.Context()
+	if d := s.requestTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	result, err := m(ctx, call, args)
 	if err != nil {
-		if f, ok := err.(*Fault); ok {
-			s.writeFault(w, f)
-			return
-		}
-		s.writeFault(w, &Fault{Code: FaultApplication, Message: err.Error()})
+		s.writeFault(w, FaultFor(err))
 		return
 	}
 	resp, err := MarshalResponse(result)
@@ -185,22 +229,47 @@ func (s *Server) handleLogin(w http.ResponseWriter, args []interface{}) {
 	}
 	user, _ := args[0].(string)
 	password, _ := args[1].(string)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if pw, ok := s.users[user]; !ok || pw != password {
-		s.writeFaultLocked(w, &Fault{Code: FaultAuth, Message: "bad credentials"})
+	s.mu.RLock()
+	want, ok := s.users[user]
+	s.mu.RUnlock()
+	// Hash only the attacker-supplied input and compare fixed-size
+	// digests: the work done is identical whether or not the user exists
+	// (unknown users compare against the zero digest and fail on ok), so
+	// response timing leaks neither user existence nor password content.
+	got := sha256.Sum256([]byte(password))
+	if subtle.ConstantTimeCompare(want[:], got[:]) != 1 || !ok {
+		s.writeFault(w, &Fault{Code: FaultAuth, Message: "bad credentials"})
 		return
 	}
 	buf := make([]byte, 16)
 	if _, err := rand.Read(buf); err != nil {
-		s.writeFaultLocked(w, &Fault{Code: FaultApplication, Message: err.Error()})
+		s.writeFault(w, &Fault{Code: FaultApplication, Message: err.Error()})
 		return
 	}
 	token := hex.EncodeToString(buf)
-	s.sessions[token] = sessionInfo{user: user, expires: time.Now().Add(sessionTTL)}
 	resp, _ := MarshalResponse(token)
+	s.mu.Lock()
+	s.sessions[token] = sessionInfo{user: user, expires: s.now().Add(sessionTTL)}
+	// Sweep on login (rate-limited): under login churn the map stays
+	// bounded by the live sessions plus at most one interval of expiries.
+	if s.now().Sub(s.lastSweep) >= sweepInterval {
+		s.sweepSessionsLocked()
+	}
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/xml")
 	w.Write(resp)
+}
+
+// sweepSessionsLocked drops every expired session. s.mu must be held.
+func (s *Server) sweepSessionsLocked() {
+	now := s.now()
+	for token, info := range s.sessions {
+		if now.After(info.expires) {
+			delete(s.sessions, token)
+		}
+	}
+	s.checks = 0
+	s.lastSweep = now
 }
 
 func (s *Server) checkSession(token string) (string, bool) {
@@ -209,24 +278,32 @@ func (s *Server) checkSession(token string) (string, bool) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Amortized sweep, doubly bounded: at least sweepEvery checks AND at
+	// least sweepInterval since the last scan, so steady traffic over a
+	// large, mostly-live session map is not stalled every 64th request.
+	if s.checks++; s.checks >= sweepEvery && s.now().Sub(s.lastSweep) >= sweepInterval {
+		s.sweepSessionsLocked()
+	}
 	info, ok := s.sessions[token]
 	if !ok {
 		return "", false
 	}
-	if time.Now().After(info.expires) {
+	if s.now().After(info.expires) {
 		delete(s.sessions, token)
 		return "", false
 	}
 	return info.user, true
 }
 
-func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
-	w.Header().Set("Content-Type", "text/xml")
-	w.Write(MarshalFault(f))
+// SessionCount reports the number of stored (not necessarily unexpired)
+// sessions.
+func (s *Server) SessionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
 }
 
-// writeFaultLocked is writeFault for paths already holding s.mu.
-func (s *Server) writeFaultLocked(w http.ResponseWriter, f *Fault) {
+func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
 	w.Header().Set("Content-Type", "text/xml")
 	w.Write(MarshalFault(f))
 }
@@ -247,16 +324,20 @@ type Client struct {
 	session string
 }
 
-// NewClient returns a client for a server base URL.
+// NewClient returns a client for a server base URL. The client sets no
+// transport-level timeout: call deadlines belong to the caller's context
+// (CallContext) and to the server's per-request deadline, so a hard cap
+// here would silently override both. Callers wanting a blanket bound can
+// supply their own HTTP client.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{}}
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return &http.Client{}
 }
 
 func (c *Client) clock() *netsim.Clock {
@@ -268,7 +349,12 @@ func (c *Client) clock() *netsim.Clock {
 
 // Login authenticates and stores the session token for later calls.
 func (c *Client) Login(user, password string) error {
-	res, err := c.Call("system.login", user, password)
+	return c.LoginContext(context.Background(), user, password)
+}
+
+// LoginContext is Login under a caller-supplied context.
+func (c *Client) LoginContext(ctx context.Context, user, password string) error {
+	res, err := c.CallContext(ctx, "system.login", user, password)
 	if err != nil {
 		return err
 	}
@@ -284,11 +370,18 @@ func (c *Client) Login(user, password string) error {
 
 // Call invokes method with args and returns the decoded result.
 func (c *Client) Call(method string, args ...interface{}) (interface{}, error) {
+	return c.CallContext(context.Background(), method, args...)
+}
+
+// CallContext is Call under a caller-supplied context: cancelling it (or
+// letting its deadline expire) aborts the HTTP request, which the server
+// observes as a client disconnect and propagates to the running method.
+func (c *Client) CallContext(ctx context.Context, method string, args ...interface{}) (interface{}, error) {
 	body, err := MarshalCall(method, args)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/RPC2", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/RPC2", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}

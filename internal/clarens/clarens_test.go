@@ -1,6 +1,7 @@
 package clarens
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -43,7 +44,7 @@ func TestEchoRoundTrip(t *testing.T) {
 
 func TestStructAndSpecialValues(t *testing.T) {
 	s, c := startServer(t, true)
-	s.Register("test.struct", func(_ *CallContext, args []interface{}) (interface{}, error) {
+	s.Register("test.struct", func(_ context.Context, _ *CallContext, args []interface{}) (interface{}, error) {
 		return map[string]interface{}{
 			"n":    nil,
 			"when": time.Date(2005, 6, 15, 12, 0, 0, 0, time.UTC),
@@ -72,7 +73,7 @@ func TestStructAndSpecialValues(t *testing.T) {
 
 func TestFaults(t *testing.T) {
 	s, c := startServer(t, true)
-	s.Register("test.fail", func(_ *CallContext, _ []interface{}) (interface{}, error) {
+	s.Register("test.fail", func(_ context.Context, _ *CallContext, _ []interface{}) (interface{}, error) {
 		return nil, fmt.Errorf("boom")
 	})
 	_, err := c.Call("test.fail")
@@ -89,8 +90,8 @@ func TestFaults(t *testing.T) {
 func TestAuthentication(t *testing.T) {
 	s, c := startServer(t, false)
 	s.AddUser("cms", "secret")
-	s.Register("test.whoami", func(ctx *CallContext, _ []interface{}) (interface{}, error) {
-		return ctx.User, nil
+	s.Register("test.whoami", func(_ context.Context, call *CallContext, _ []interface{}) (interface{}, error) {
+		return call.User, nil
 	})
 	// Unauthenticated call rejected.
 	_, err := c.Call("test.whoami")
@@ -116,7 +117,7 @@ func TestAuthentication(t *testing.T) {
 
 func TestListMethods(t *testing.T) {
 	s, c := startServer(t, true)
-	s.Register("custom.m", func(_ *CallContext, _ []interface{}) (interface{}, error) { return nil, nil })
+	s.Register("custom.m", func(_ context.Context, _ *CallContext, _ []interface{}) (interface{}, error) { return nil, nil })
 	res, err := c.Call("system.listMethods")
 	if err != nil {
 		t.Fatal(err)

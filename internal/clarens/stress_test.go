@@ -1,6 +1,7 @@
 package clarens
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -12,7 +13,7 @@ import (
 func TestLargePayloadRoundTrip(t *testing.T) {
 	s, c := startServer(t, true)
 	const rows = 5000
-	s.Register("test.big", func(_ *CallContext, _ []interface{}) (interface{}, error) {
+	s.Register("test.big", func(_ context.Context, _ *CallContext, _ []interface{}) (interface{}, error) {
 		out := make([]interface{}, rows)
 		for i := range out {
 			out[i] = []interface{}{int64(i), float64(i) / 3.0, fmt.Sprintf("tag-%d", i)}
@@ -36,7 +37,7 @@ func TestLargePayloadRoundTrip(t *testing.T) {
 
 func TestConcurrentCallers(t *testing.T) {
 	s, _ := startServer(t, true)
-	s.Register("test.sq", func(_ *CallContext, args []interface{}) (interface{}, error) {
+	s.Register("test.sq", func(_ context.Context, _ *CallContext, args []interface{}) (interface{}, error) {
 		n := args[0].(int64)
 		return n * n, nil
 	})
@@ -107,7 +108,7 @@ func TestSessionExpiryAndConcurrentLogins(t *testing.T) {
 
 func TestNestedStructures(t *testing.T) {
 	s, c := startServer(t, true)
-	s.Register("test.nest", func(_ *CallContext, args []interface{}) (interface{}, error) {
+	s.Register("test.nest", func(_ context.Context, _ *CallContext, args []interface{}) (interface{}, error) {
 		return args[0], nil // echo the nested value
 	})
 	in := map[string]interface{}{

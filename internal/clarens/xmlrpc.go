@@ -4,12 +4,20 @@
 // matching lightweight client. The data access service (§4.5) registers
 // its methods on this server; "all kinds of (simple and) complex clients"
 // reach the middleware through it.
+//
+// Calls are cancellable end-to-end: each Method receives a
+// context.Context derived from the HTTP request (cancelled on client
+// disconnect, optionally bounded by Server.SetRequestTimeout), the
+// Client's CallContext threads a caller context into the request, and
+// context errors surface as the distinct FaultCancelled fault code.
 package clarens
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -26,12 +34,48 @@ type Fault struct {
 // Error implements the error interface.
 func (f *Fault) Error() string { return fmt.Sprintf("clarens: fault %d: %s", f.Code, f.Message) }
 
+// FaultFor maps a method error to the fault sent on the wire: Faults pass
+// through (a wrapped Fault keeps its code but the full annotated message,
+// so "forward to <url>:" context survives re-faulting), context
+// cancellation and deadline expiry map to FaultCancelled, everything else
+// to FaultApplication.
+func FaultFor(err error) *Fault {
+	var f *Fault
+	if errors.As(err, &f) {
+		if top, ok := err.(*Fault); ok {
+			return top
+		}
+		return &Fault{Code: f.Code, Message: err.Error()}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &Fault{Code: FaultCancelled, Message: err.Error()}
+	}
+	return &Fault{Code: FaultApplication, Message: err.Error()}
+}
+
+// IsCancelled reports whether an error represents an abandoned call: a
+// FaultCancelled fault from a server, or a local context error (as seen
+// by a client whose own context expired mid-call).
+func IsCancelled(err error) bool {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.Code == FaultCancelled
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Fault codes used by the server.
 const (
 	FaultParse       = 100
 	FaultNoMethod    = 101
 	FaultAuth        = 102
 	FaultApplication = 103
+	// FaultCancelled reports that a method's context was cancelled —
+	// the client disconnected, the caller's deadline expired, or the
+	// server's per-request timeout fired — before it produced a result.
+	// A distinct code lets clients (and a future system.cancel method)
+	// tell an abandoned query from an application failure.
+	FaultCancelled = 104
 )
 
 // ---- encoding ----

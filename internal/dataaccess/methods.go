@@ -1,6 +1,7 @@
 package dataaccess
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,7 +26,7 @@ import (
 //	system.cachestats()                       -> {enabled, hits, misses, ...}
 //	system.cacheflush()                       -> entries dropped
 func (s *Service) RegisterMethods(srv *clarens.Server) {
-	srv.Register("dataaccess.query", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
+	srv.Register("dataaccess.query", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
 		if len(args) < 1 {
 			return nil, fmt.Errorf("dataaccess.query requires (sql [, params...])")
 		}
@@ -37,7 +38,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		if err != nil {
 			return nil, err
 		}
-		qr, err := s.Query(sqlText, params...)
+		qr, err := s.QueryContext(ctx, sqlText, params...)
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +48,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		return res, nil
 	})
 
-	srv.Register("dataaccess.tables", func(_ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+	srv.Register("dataaccess.tables", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
 		names := s.fed.Dictionary().LogicalTables()
 		out := make([]interface{}, len(names))
 		for i, n := range names {
@@ -56,7 +57,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		return out, nil
 	})
 
-	srv.Register("dataaccess.schema", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
+	srv.Register("dataaccess.schema", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
 		if len(args) != 1 {
 			return nil, fmt.Errorf("dataaccess.schema requires (table)")
 		}
@@ -83,7 +84,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		}, nil
 	})
 
-	srv.Register("dataaccess.addDatabase", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
+	srv.Register("dataaccess.addDatabase", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
 		if len(args) < 3 {
 			return nil, fmt.Errorf("dataaccess.addDatabase requires (xspecURL, driver, url [, user, password])")
 		}
@@ -102,7 +103,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		return name, nil
 	})
 
-	srv.Register("dataaccess.removeDatabase", func(_ *clarens.CallContext, args []interface{}) (interface{}, error) {
+	srv.Register("dataaccess.removeDatabase", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
 		if len(args) != 1 {
 			return nil, fmt.Errorf("dataaccess.removeDatabase requires (name)")
 		}
@@ -113,7 +114,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		return true, nil
 	})
 
-	srv.Register("dataaccess.sources", func(_ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+	srv.Register("dataaccess.sources", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
 		names := s.fed.Sources()
 		out := make([]interface{}, len(names))
 		for i, n := range names {
@@ -122,7 +123,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		return out, nil
 	})
 
-	srv.Register("system.cachestats", func(_ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+	srv.Register("system.cachestats", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
 		st := s.CacheStats()
 		return map[string]interface{}{
 			"enabled":       s.CacheEnabled(),
@@ -136,7 +137,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		}, nil
 	})
 
-	srv.Register("system.cacheflush", func(_ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+	srv.Register("system.cacheflush", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
 		return int64(s.CacheFlush()), nil
 	})
 }

@@ -7,9 +7,16 @@
 // instance that hosts it, integrating all partial results into one
 // consistent answer. It also hosts the runtime features of §4.9 (schema-
 // change tracking) and §4.10 (plug-in databases).
+//
+// Every query path is context-aware end-to-end: QueryContext threads its
+// context through the POOL-RAL statement, each Unity sub-query, RLS
+// lookups and remote JClarens forwards, so a disconnected or timed-out
+// client stops consuming backend resources promptly. The XML-RPC method
+// layer (RegisterMethods) derives that context from the HTTP request.
 package dataaccess
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -228,29 +235,56 @@ type QueryResult struct {
 // collapsed into one execution; callers must treat the returned rows as
 // read-only, since hits share one materialized result set.
 func (s *Service) Query(sqlText string, params ...sqlengine.Value) (*QueryResult, error) {
+	return s.QueryContext(context.Background(), sqlText, params...)
+}
+
+// QueryContext is Query under a caller-supplied context, threaded through
+// every backend the routed query touches: POOL-RAL statements, Unity
+// sub-queries, RLS lookups and remote JClarens forwards all stop promptly
+// when ctx is cancelled or its deadline expires. With the result cache
+// enabled the context governs only this caller's wait — a coalesced
+// computation shared with other callers keeps running until its last
+// waiter departs (see qcache.Do).
+func (s *Service) QueryContext(ctx context.Context, sqlText string, params ...sqlengine.Value) (*QueryResult, error) {
 	s.stats.Queries.Add(1)
 	if s.cache == nil {
-		qr, _, err := s.queryRouted(sqlText, params)
+		qr, _, err := s.queryRouted(ctx, sqlText, params)
 		return qr, err
 	}
-	qr, _, err := s.cache.Do(cacheKey(sqlText, params), func() (*QueryResult, []qcache.Dep, error) {
-		return s.queryRouted(sqlText, params)
+	qr, _, err := s.cache.Do(ctx, cacheKey(sqlText, params), func(ctx context.Context) (*QueryResult, []qcache.Dep, error) {
+		return s.queryRouted(ctx, sqlText, params)
 	})
 	return qr, err
+}
+
+// ExecuteContext runs a previously produced federation plan (obtained
+// from Federation().PlanQuery) under ctx, bypassing the cache and the
+// RAL/remote routing (plan execution is a purely local Unity operation).
+// Callers that plan once and execute many times — e.g. parameterized
+// analysis sweeps over the same shape — get the same cancellation
+// semantics as QueryContext.
+func (s *Service) ExecuteContext(ctx context.Context, plan *unity.Plan, params ...sqlengine.Value) (*QueryResult, error) {
+	s.stats.Queries.Add(1)
+	rs, err := s.fed.ExecuteContext(ctx, plan, params...)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Unity.Add(1)
+	return &QueryResult{ResultSet: rs, Route: RouteUnity, Servers: 1}, nil
 }
 
 // queryRouted is the uncached routing core; alongside the result it
 // returns the (source, table) set it read from — the cache-invalidation
 // fingerprint of the answer.
-func (s *Service) queryRouted(sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+func (s *Service) queryRouted(ctx context.Context, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
 	// Fast path: every table is registered locally.
 	plan, err := s.fed.PlanQuery(sqlText)
 	var unknown *unity.ErrUnknownTable
 	switch {
 	case err == nil:
-		return s.queryLocal(sqlText, plan, params)
+		return s.queryLocal(ctx, sqlText, plan, params)
 	case errors.As(err, &unknown):
-		return s.queryWithRemote(sqlText, params)
+		return s.queryWithRemote(ctx, sqlText, params)
 	default:
 		return nil, nil, err
 	}
@@ -269,14 +303,14 @@ func planDeps(plan *unity.Plan) []qcache.Dep {
 // queryLocal routes a fully-local query to POOL-RAL or Unity (§4.5: "the
 // data access layer decides which of the two modules to forward the query
 // to by finding out which databases are to be queried").
-func (s *Service) queryLocal(sqlText string, plan *unity.Plan, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+func (s *Service) queryLocal(ctx context.Context, sqlText string, plan *unity.Plan, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
 	if !s.cfg.DisableRAL && len(params) == 0 {
 		if parts, ok, err := s.fed.ExtractRALParts(sqlText); err == nil && ok {
 			s.mu.Lock()
 			conn, supported := s.ralConns[parts.Source]
 			s.mu.Unlock()
 			if supported {
-				rs, err := s.ral.QueryValues(conn, parts.Fields, parts.Tables, parts.Where)
+				rs, err := s.ral.QueryValuesContext(ctx, conn, parts.Fields, parts.Tables, parts.Where)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -289,7 +323,7 @@ func (s *Service) queryLocal(sqlText string, plan *unity.Plan, params []sqlengin
 			}
 		}
 	}
-	rs, err := s.fed.Execute(plan, params...)
+	rs, err := s.fed.ExecuteContext(ctx, plan, params...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -306,7 +340,7 @@ const remoteDepPrefix = "remote:"
 // queryWithRemote handles queries touching tables this instance does not
 // host: RLS lookup, then either whole-query forwarding (all tables on one
 // remote server) or per-table fetch + local integration.
-func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+func (s *Service) queryWithRemote(ctx context.Context, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
 	if s.cfg.RLS == nil {
 		return nil, nil, fmt.Errorf("dataaccess: query references unregistered tables and no RLS is configured")
 	}
@@ -328,7 +362,7 @@ func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*Qu
 			continue
 		}
 		s.stats.RLSLookups.Add(1)
-		servers, err := s.cfg.RLS.Lookup(t)
+		servers, err := s.cfg.RLS.LookupContext(ctx, t)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -354,7 +388,7 @@ func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*Qu
 			}
 		}
 		if same && len(params) == 0 {
-			rs, err := s.forward(single, sqlText)
+			rs, err := s.forward(ctx, single, sqlText)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -372,9 +406,9 @@ func (s *Service) queryWithRemote(sqlText string, params []sqlengine.Value) (*Qu
 		var rs *sqlengine.ResultSet
 		var err error
 		if local[t] {
-			rs, err = s.fed.Query(fetch)
+			rs, err = s.fed.QueryContext(ctx, fetch)
 		} else {
-			rs, err = s.forward(remoteHost[t], fetch)
+			rs, err = s.forward(ctx, remoteHost[t], fetch)
 			serversTouched[remoteHost[t]] = true
 		}
 		if err != nil {
@@ -428,9 +462,11 @@ func loadScratch(scratch *sqlengine.Engine, t string, rs *sqlengine.ResultSet) e
 }
 
 // forward sends a query to a remote JClarens instance over XML-RPC.
-func (s *Service) forward(serverURL, sqlText string) (*sqlengine.ResultSet, error) {
+// Cancelling ctx aborts the HTTP request; the remote server sees the
+// disconnect and cancels its own backend work in turn.
+func (s *Service) forward(ctx context.Context, serverURL, sqlText string) (*sqlengine.ResultSet, error) {
 	c := s.remoteClient(serverURL)
-	res, err := c.Call("dataaccess.query", sqlText)
+	res, err := c.CallContext(ctx, "dataaccess.query", sqlText)
 	if err != nil {
 		return nil, fmt.Errorf("dataaccess: forward to %s: %w", serverURL, err)
 	}

@@ -12,6 +12,7 @@
 package poolral
 
 import (
+	"context"
 	"database/sql"
 	"fmt"
 	"strings"
@@ -175,6 +176,14 @@ func buildSelect(d *sqlengine.Dialect, fields, tables []string, where string) (s
 // by (fields, tables, where) on the database identified by connString and
 // returns a materialized result set.
 func (r *RAL) QueryValues(connString string, fields, tables []string, where string) (*sqlengine.ResultSet, error) {
+	return r.QueryValuesContext(context.Background(), connString, fields, tables, where)
+}
+
+// QueryValuesContext is QueryValues under a caller-supplied context. The
+// query runs on a dedicated connection checked out from the handle's pool
+// (the paper's one-handle-per-database discipline), so cancelling ctx
+// interrupts the statement rather than just the row iteration.
+func (r *RAL) QueryValuesContext(ctx context.Context, connString string, fields, tables []string, where string) (*sqlengine.ResultSet, error) {
 	h, err := r.handle(connString)
 	if err != nil {
 		return nil, err
@@ -183,7 +192,12 @@ func (r *RAL) QueryValues(connString string, fields, tables []string, where stri
 	if err != nil {
 		return nil, err
 	}
-	rows, err := h.db.Query(query)
+	conn, err := h.db.Conn(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("poolral: %s: %w", connString, err)
+	}
+	defer conn.Close()
+	rows, err := conn.QueryContext(ctx, query)
 	if err != nil {
 		return nil, fmt.Errorf("poolral: %s: %w", connString, err)
 	}

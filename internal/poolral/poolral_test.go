@@ -1,6 +1,8 @@
 package poolral
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -171,5 +173,25 @@ func TestBuildSelect(t *testing.T) {
 	}
 	if _, err := buildSelect(sqlengine.DialectOracle, nil, nil, ""); err == nil {
 		t.Error("no tables accepted")
+	}
+}
+
+func TestQueryValuesContextCancelled(t *testing.T) {
+	localOracle(t, "whoractx")
+	r := New()
+	defer r.Close()
+	conn := "oracle:local://whoractx"
+	if err := r.InitHandler(conn, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.QueryValuesContext(ctx, conn, []string{"id"}, []string{"ev"}, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	// A live context still works on the same handle afterwards.
+	rs, err := r.QueryValuesContext(context.Background(), conn, []string{"id"}, []string{"ev"}, `"run" = 100`)
+	if err != nil || len(rs.Rows) != 2 {
+		t.Fatalf("post-cancel query: %v rows=%d", err, len(rs.Rows))
 	}
 }

@@ -1,0 +1,195 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDoFollowerAbandon: one follower abandoning a coalesced wait returns
+// its ctx.Err() promptly, while the leader's shared computation survives,
+// completes, and is cached.
+func TestDoFollowerAbandon(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func(ctx context.Context) (int, []Dep, error) {
+			close(started)
+			select {
+			case <-release:
+				return 42, nil, nil
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	// Follower joins, then gives up.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, _, err := c.Do(ctx, "k", func(context.Context) (int, []Dep, error) {
+		t.Error("follower must coalesce, not compute")
+		return 0, nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want canceled", err)
+	}
+	if time.Since(t0) > 2*time.Second {
+		t.Fatal("follower did not return promptly")
+	}
+
+	// The leader is unharmed and its result lands in the cache.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Fatalf("cached = (%d, %v), want (42, true)", v, ok)
+	}
+}
+
+// TestDoLeaderAbandonFollowerSurvives: even the caller that started the
+// computation may abandon it; a remaining follower still receives the
+// value because the computation runs on a context detached from any one
+// caller.
+func TestDoLeaderAbandonFollowerSurvives(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(leaderCtx, "k", func(ctx context.Context) (int, []Dep, error) {
+			close(started)
+			select {
+			case <-release:
+				return 7, nil, nil
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	followerDone := make(chan struct{})
+	var fv int
+	var fcached bool
+	var ferr error
+	go func() {
+		defer close(followerDone)
+		fv, fcached, ferr = c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
+			t.Error("follower must coalesce, not compute")
+			return 0, nil, nil
+		})
+	}()
+	// Give the follower a moment to register, then kill the leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want canceled", err)
+	}
+
+	close(release)
+	<-followerDone
+	if ferr != nil || fv != 7 || !fcached {
+		t.Fatalf("follower = (%d, %v, %v), want (7, true, nil)", fv, fcached, ferr)
+	}
+}
+
+// TestDoLastWaiterCancelsComputation: once every caller has walked away,
+// the shared computation's context is cancelled so fn can stop promptly,
+// and a later caller starts a fresh computation instead of inheriting the
+// doomed one.
+func TestDoLastWaiterCancelsComputation(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	started := make(chan struct{})
+	cancelled := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, _, err := c.Do(ctx, "k", func(ctx context.Context) (int, []Dep, error) {
+		close(started)
+		<-ctx.Done()
+		close(cancelled)
+		return 0, nil, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("computation context was never cancelled after the last waiter left")
+	}
+
+	// The key is free again: a fresh caller computes a fresh result.
+	v, cached, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
+		return 9, nil, nil
+	})
+	if err != nil || cached || v != 9 {
+		t.Fatalf("fresh Do = (%d, %v, %v), want (9, false, nil)", v, cached, err)
+	}
+}
+
+// TestDoDeadCtxShortCircuits: a caller arriving with an already-dead
+// context gets its error back without fn ever running.
+func TestDoDeadCtxShortCircuits(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", func(context.Context) (int, []Dep, error) {
+		t.Error("fn must not run under a dead context")
+		return 0, nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	// A cached value is still served, though: availability beats
+	// ceremony when no work is needed.
+	c.Put("k", 5, nil)
+	v, cached, err := c.Do(ctx, "k", func(context.Context) (int, []Dep, error) {
+		return 0, nil, nil
+	})
+	if err != nil || !cached || v != 5 {
+		t.Fatalf("dead-ctx hit = (%d, %v, %v), want (5, true, nil)", v, cached, err)
+	}
+}
+
+// TestDoPanicInComputation: fn runs on a detached goroutine, so a panic
+// must be converted to an error delivered to every waiter instead of
+// killing the process.
+func TestDoPanicInComputation(t *testing.T) {
+	c := New[int](Options{MaxEntries: 8})
+	_, _, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
+		panic("kaboom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("panicked computation must not be cached")
+	}
+	// The key is usable again afterwards.
+	v, _, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
+		return 3, nil, nil
+	})
+	if err != nil || v != 3 {
+		t.Fatalf("retry = (%d, %v)", v, err)
+	}
+}

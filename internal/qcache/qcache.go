@@ -10,10 +10,18 @@
 // computed from. Invalidation walks a reverse index from dependency to
 // keys, so InvalidateSource / InvalidateTable are O(dependent entries),
 // not O(cache size).
+//
+// Do is context-aware with singleflight-detached semantics: a caller
+// abandoning a coalesced wait gets its ctx.Err() back promptly without
+// cancelling the shared computation, which keeps running for the other
+// waiters; only when the last waiter departs is the computation itself
+// cancelled.
 package qcache
 
 import (
 	"container/list"
+	"context"
+	"fmt"
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
@@ -79,12 +87,17 @@ type shard[V any] struct {
 	bySource map[string]map[string]struct{}
 }
 
-// call is one in-flight singleflight computation.
+// call is one in-flight singleflight computation. The computation runs on
+// its own context, detached from any one caller's: waiters is how many
+// callers still want the result, and the last one to abandon the wait
+// cancels the computation via cancel. done is closed when fn returns.
 type call[V any] struct {
-	wg   sync.WaitGroup
-	val  V
-	deps []Dep
-	err  error
+	done    chan struct{}
+	val     V
+	deps    []Dep
+	err     error
+	waiters int // guarded by Cache.fmu
+	cancel  context.CancelFunc
 }
 
 // Cache is a sharded TTL'd LRU with dependency invalidation.
@@ -252,43 +265,106 @@ func (sh *shard[V]) removeLocked(e *entry[V]) {
 // for the first caller's result instead of re-executing (singleflight) —
 // and cache its result on success. The bool reports whether the value was
 // served without running fn (a cache hit or a coalesced wait).
-func (c *Cache[V]) Do(key string, fn func() (V, []Dep, error)) (V, bool, error) {
+//
+// ctx governs only this caller's wait, not the shared computation: fn runs
+// on a context detached from every caller, so one impatient client
+// abandoning the wait (Do returns its ctx.Err() promptly) does not poison
+// the result the remaining waiters are due. Only when the last interested
+// caller departs is the computation's context cancelled, so an answer
+// nobody wants stops occupying backends. fn must honor the context it is
+// handed.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func(ctx context.Context) (V, []Dep, error)) (V, bool, error) {
 	if v, ok := c.Get(key); ok {
 		return v, true, nil
 	}
+	if err := ctx.Err(); err != nil {
+		var zero V
+		return zero, false, err
+	}
 	c.fmu.Lock()
 	if cl, ok := c.flight[key]; ok {
+		cl.waiters++
 		c.fmu.Unlock()
 		c.coalesced.Add(1)
-		cl.wg.Wait()
-		return cl.val, true, cl.err
+		select {
+		case <-cl.done:
+			return cl.val, true, cl.err
+		case <-ctx.Done():
+			c.abandon(key, cl)
+			var zero V
+			return zero, false, ctx.Err()
+		}
 	}
-	cl := &call[V]{}
-	cl.wg.Add(1)
+	cl := &call[V]{done: make(chan struct{}), waiters: 1}
+	// The computation's context inherits this caller's values but not its
+	// cancellation; abandon() cancels it when the last waiter leaves.
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	cl.cancel = cancel
 	c.flight[key] = cl
 	c.fmu.Unlock()
 
 	// Re-check under flight ownership: a Put may have landed between the
 	// miss and the flight registration.
 	if v, ok := c.get(key, false); ok {
-		cl.val, cl.err = v, nil
+		cl.val = v
 		c.finish(key, cl)
 		return v, true, nil
 	}
 	epoch := c.epoch.Load()
-	cl.val, cl.deps, cl.err = fn()
-	if cl.err == nil && c.epoch.Load() == epoch {
-		c.Put(key, cl.val, cl.deps)
+	go func() {
+		// fn used to run on the caller's goroutine, where (e.g.) the HTTP
+		// server's handler recovery contained a panic; on this detached
+		// goroutine a panic would kill the process and strand every
+		// waiter, so convert it to an error delivered to all of them.
+		defer func() {
+			if r := recover(); r != nil {
+				cl.err = fmt.Errorf("qcache: computation panicked: %v", r)
+			}
+			if cl.err == nil && c.epoch.Load() == epoch {
+				c.Put(key, cl.val, cl.deps)
+			}
+			c.finish(key, cl)
+		}()
+		cl.val, cl.deps, cl.err = fn(runCtx)
+	}()
+	select {
+	case <-cl.done:
+		return cl.val, false, cl.err
+	case <-ctx.Done():
+		c.abandon(key, cl)
+		var zero V
+		return zero, false, ctx.Err()
 	}
-	c.finish(key, cl)
-	return cl.val, false, cl.err
 }
 
+// finish publishes a completed computation: it unregisters the flight (so
+// later callers miss to the cache or a fresh flight), wakes every waiter,
+// and releases the computation context.
 func (c *Cache[V]) finish(key string, cl *call[V]) {
 	c.fmu.Lock()
-	delete(c.flight, key)
+	if c.flight[key] == cl {
+		delete(c.flight, key)
+	}
 	c.fmu.Unlock()
-	cl.wg.Done()
+	close(cl.done)
+	cl.cancel()
+}
+
+// abandon records one waiter giving up on an in-flight computation. The
+// last departing waiter unregisters the flight — a caller arriving after
+// that starts a fresh computation rather than joining a doomed one — and
+// cancels the computation's context.
+func (c *Cache[V]) abandon(key string, cl *call[V]) {
+	c.fmu.Lock()
+	cl.waiters--
+	last := cl.waiters == 0
+	if last && c.flight[key] == cl {
+		delete(c.flight, key)
+	}
+	c.fmu.Unlock()
+	if last {
+		cl.cancel()
+	}
 }
 
 // InvalidateSource evicts every entry that depends on any table of the

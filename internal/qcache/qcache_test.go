@@ -1,6 +1,7 @@
 package qcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -132,7 +133,7 @@ func TestDoSingleflight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			v, _, err := c.Do("k", func() (int, []Dep, error) {
+			v, _, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
 				computes.Add(1)
 				time.Sleep(5 * time.Millisecond) // widen the collapse window
 				return 42, nil, nil
@@ -152,7 +153,7 @@ func TestDoSingleflight(t *testing.T) {
 		t.Fatalf("coalesced = %d, want %d", st.Coalesced, workers-1)
 	}
 	// A later call is a plain hit.
-	if _, cached, _ := c.Do("k", func() (int, []Dep, error) {
+	if _, cached, _ := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
 		t.Fatal("fn should not run on a hit")
 		return 0, nil, nil
 	}); !cached {
@@ -163,14 +164,14 @@ func TestDoSingleflight(t *testing.T) {
 func TestDoErrorNotCached(t *testing.T) {
 	c := New[int](Options{MaxEntries: 8})
 	wantErr := errors.New("boom")
-	if _, _, err := c.Do("k", func() (int, []Dep, error) { return 0, nil, wantErr }); !errors.Is(err, wantErr) {
+	if _, _, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) { return 0, nil, wantErr }); !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v", err)
 	}
 	if c.Len() != 0 {
 		t.Fatal("error result must not be cached")
 	}
 	// The key is retried after an error.
-	v, cached, err := c.Do("k", func() (int, []Dep, error) { return 7, nil, nil })
+	v, cached, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) { return 7, nil, nil })
 	if err != nil || cached || v != 7 {
 		t.Fatalf("retry = (%d, %v, %v)", v, cached, err)
 	}
@@ -199,7 +200,7 @@ func TestConcurrentHammer(t *testing.T) {
 				case 1:
 					c.Get(key)
 				case 2:
-					c.Do(key, func() (int, []Dep, error) {
+					c.Do(context.Background(), key, func(context.Context) (int, []Dep, error) {
 						return i, []Dep{{Source: src, Table: "t"}}, nil
 					})
 				case 3:
@@ -231,7 +232,7 @@ func TestConcurrentHammer(t *testing.T) {
 // pre-invalidation state must not be inserted after the invalidation.
 func TestInvalidationDuringComputeSuppressesPut(t *testing.T) {
 	c := New[int](Options{MaxEntries: 8})
-	v, cached, err := c.Do("k", func() (int, []Dep, error) {
+	v, cached, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
 		// The mart is refreshed while the query is still executing.
 		c.InvalidateTable("s1", "t")
 		return 1, []Dep{{Source: "s1", Table: "t"}}, nil
@@ -243,7 +244,7 @@ func TestInvalidationDuringComputeSuppressesPut(t *testing.T) {
 		t.Fatal("stale result was cached past the racing invalidation")
 	}
 	// The next call recomputes and caches normally.
-	if _, cached, _ := c.Do("k", func() (int, []Dep, error) { return 2, nil, nil }); cached {
+	if _, cached, _ := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) { return 2, nil, nil }); cached {
 		t.Fatal("want recompute")
 	}
 	if c.Len() != 1 {

@@ -13,11 +13,13 @@ package rls
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -282,8 +284,18 @@ func (c *Client) post(path string, body interface{}) error {
 
 // Lookup asks the catalog which servers host a table.
 func (c *Client) Lookup(table string) ([]string, error) {
+	return c.LookupContext(context.Background(), table)
+}
+
+// LookupContext is Lookup under a caller-supplied context, so an
+// abandoned federated query does not keep waiting on the catalog.
+func (c *Client) LookupContext(ctx context.Context, table string) ([]string, error) {
 	c.charge()
-	resp, err := c.http().Get(c.BaseURL + "/lookup?table=" + table)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/lookup?table="+url.QueryEscape(table), nil)
+	if err != nil {
+		return nil, fmt.Errorf("rls: lookup: %w", err)
+	}
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("rls: lookup: %w", err)
 	}
