@@ -5,10 +5,18 @@
 // Usage:
 //
 //	gridql -server http://host:9410 [-user u -password p] [-timeout 30s] "SELECT ..."
+//	gridql -server http://host:9410 -stream [-fetch-size 256] "SELECT ..."
 //	gridql -server http://host:9410 -tables
 //	gridql -server http://host:9410 -schema events
 //	gridql -server http://host:9410 -cache
 //	gridql -server http://host:9410 -cache-flush
+//
+// -stream pages the result through a server-side cursor (the
+// system.cursor.open/fetch/close methods) instead of one materialized
+// response: rows print as chunks of at most -fetch-size arrive, neither
+// side ever buffers more than one chunk, and interrupting the client (or
+// letting the cursor idle past the server's TTL) cancels the producing
+// query on the server.
 package main
 
 import (
@@ -31,6 +39,8 @@ func main() {
 	schema := flag.String("schema", "", "print a table's schema and exit")
 	cache := flag.Bool("cache", false, "print the server's query-result cache stats and exit")
 	cacheFlush := flag.Bool("cache-flush", false, "drop the server's query-result cache and exit")
+	stream := flag.Bool("stream", false, "page the result through a server-side cursor instead of one materialized response")
+	fetchSize := flag.Int("fetch-size", 256, "rows per cursor fetch with -stream (server clamps to its maximum)")
 	timeout := flag.Duration("timeout", 0, "abandon the call after this long (0 = no deadline); the server cancels the query's backend work")
 	flag.Parse()
 
@@ -56,7 +66,7 @@ func main() {
 		}
 		m := res.(map[string]interface{})
 		fmt.Printf("query-result cache enabled=%v\n", m["enabled"])
-		for _, k := range []string{"entries", "hits", "misses", "coalesced", "evictions", "expirations", "invalidations"} {
+		for _, k := range []string{"entries", "bytes", "hits", "misses", "coalesced", "evictions", "expirations", "invalidations", "rejected"} {
 			fmt.Printf("  %-14s %v\n", k, m[k])
 		}
 	case *cacheFlush:
@@ -85,6 +95,14 @@ func main() {
 			col := ci.(map[string]interface{})
 			fmt.Printf("  %-24v %-12v nullable=%v key=%v\n", col["name"], col["kind"], col["nullable"], col["key"])
 		}
+	case *stream:
+		query := strings.TrimSpace(strings.Join(flag.Args(), " "))
+		if query == "" {
+			log.Fatal("gridql: -stream needs a query")
+		}
+		if err := streamQuery(ctx, c, query, *fetchSize); err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
 	default:
 		query := strings.TrimSpace(strings.Join(flag.Args(), " "))
 		if query == "" {
@@ -108,4 +126,59 @@ func main() {
 		m := res.(map[string]interface{})
 		fmt.Printf("(%d rows via %v, %v server(s))\n", len(rs.Rows), m["route"], m["servers"])
 	}
+}
+
+// streamQuery pages a query through the server-side cursor protocol,
+// printing rows tab-separated as each chunk arrives. The cursor is closed
+// on every exit path so an aborted run does not leave the server holding
+// a live backend query until its TTL.
+func streamQuery(ctx context.Context, c *clarens.Client, query string, fetchSize int) error {
+	res, err := c.CallContext(ctx, "system.cursor.open", query)
+	if err != nil {
+		return err
+	}
+	m, ok := res.(map[string]interface{})
+	if !ok {
+		return fmt.Errorf("unexpected cursor.open response %T", res)
+	}
+	id, _ := m["cursor"].(string)
+	if id == "" {
+		return fmt.Errorf("cursor.open returned no cursor id")
+	}
+	defer c.Call("system.cursor.close", id)
+
+	cols, _ := m["columns"].([]interface{})
+	names := make([]string, len(cols))
+	for i, ci := range cols {
+		names[i], _ = ci.(string)
+	}
+	fmt.Println(strings.Join(names, "\t"))
+	total := 0
+	for {
+		res, err := c.CallContext(ctx, "system.cursor.fetch", id, int64(fetchSize))
+		if err != nil {
+			return err
+		}
+		chunk, err := dataaccess.DecodeChunk(res)
+		if err != nil {
+			return err
+		}
+		for _, row := range chunk.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				if v.IsNull() {
+					cells[i] = "NULL"
+				} else {
+					cells[i] = v.String()
+				}
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		total += len(chunk.Rows)
+		if chunk.Done {
+			break
+		}
+	}
+	fmt.Printf("(%d rows streamed via %v, %v server(s), fetch size %d)\n", total, m["route"], m["servers"], fetchSize)
+	return nil
 }

@@ -60,6 +60,11 @@ type (
 	Dialect = sqlengine.Dialect
 	// QueryResult is a routed query answer.
 	QueryResult = dataaccess.QueryResult
+	// StreamResult is a routed query answer delivered incrementally (see
+	// Server.QueryStream).
+	StreamResult = dataaccess.StreamResult
+	// RowIter is an incremental row stream.
+	RowIter = sqlengine.RowIter
 	// SourceRef locates one member database.
 	SourceRef = xspec.SourceRef
 	// LowerSpec is a per-database XSpec document.
@@ -117,8 +122,19 @@ type ServerConfig struct {
 	// Cached answers are invalidated by the schema tracker and mart
 	// refreshes; out-of-band backend writes are only bounded by CacheTTL.
 	CacheSize int
+	// CacheMaxBytes additionally bounds the cache by estimated resident
+	// bytes (0 = entry count only). With a byte budget the cache also
+	// refuses admission to any single result set larger than 1/8 of the
+	// budget, and completed streamed queries under that cap are admitted
+	// too.
+	CacheMaxBytes int64
 	// CacheTTL bounds cached-entry lifetime (0 = no expiry).
 	CacheTTL time.Duration
+	// CursorTTL bounds how long an idle server-side cursor (opened via
+	// the system.cursor.* methods) survives between fetches before its
+	// query is cancelled and its resources released. 0 selects the
+	// default (2 minutes); < 0 disables reaping.
+	CursorTTL time.Duration
 	// RequestTimeout bounds each XML-RPC method call's execution server-
 	// side (0 = none): the context handed to methods — and threaded into
 	// every backend the query touches — carries this deadline in addition
@@ -164,6 +180,25 @@ func (s *Server) Query(sql string, params ...Value) (*QueryResult, error) {
 // forwards).
 func (s *Server) QueryContext(ctx context.Context, sql string, params ...Value) (*QueryResult, error) {
 	return s.Service.QueryContext(ctx, sql, params...)
+}
+
+// QueryStream runs a federated query as an incremental row stream: rows
+// are pulled from the producing backend as the caller iterates, so a scan
+// larger than server memory never materializes. Single-source scans (the
+// POOL-RAL route and Unity pushdown plans) stream straight off the
+// backend; decomposed and remote queries integrate first and stream from
+// memory. Cancelling ctx — or closing the stream — stops the backend
+// query mid-scan. The caller must Close the stream (ForEach does so
+// automatically):
+//
+//	sr, err := srv.QueryStream(ctx, "SELECT * FROM events")
+//	if err != nil { ... }
+//	err = sr.ForEach(func(row gridrdb.Row) error { ...; return nil })
+//
+// Remote consumers get the same shape through the system.cursor.open /
+// fetch / close XML-RPC methods (gridql -stream).
+func (s *Server) QueryStream(ctx context.Context, sql string, params ...Value) (*StreamResult, error) {
+	return s.Service.QueryStreamContext(ctx, sql, params...)
 }
 
 // WireETL connects an in-process ETL pipeline to this server's query
@@ -223,10 +258,12 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 	g.mu.Unlock()
 
 	dcfg := dataaccess.Config{
-		Name:      cfg.Name,
-		Profile:   cfg.Profile,
-		CacheSize: cfg.CacheSize,
-		CacheTTL:  cfg.CacheTTL,
+		Name:          cfg.Name,
+		Profile:       cfg.Profile,
+		CacheSize:     cfg.CacheSize,
+		CacheMaxBytes: cfg.CacheMaxBytes,
+		CacheTTL:      cfg.CacheTTL,
+		CursorTTL:     cfg.CursorTTL,
 	}
 	if rlsURL != "" {
 		c := rls.NewClient(rlsURL)

@@ -1,6 +1,7 @@
 package gridrdb
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -206,5 +207,73 @@ func TestWireETLEvictsOnMaterialize(t *testing.T) {
 	st := jc.Service.CacheStats()
 	if st.Invalidations == 0 || st.Entries != 0 {
 		t.Fatalf("stats = %+v, want the nt_cached entry evicted", st)
+	}
+}
+
+// TestGridQueryStream: the public streaming API delivers the same rows as
+// Query, honors ctx cancellation, and ForEach closes the stream.
+func TestGridQueryStream(t *testing.T) {
+	_, jc1, _ := buildGrid(t)
+	qr, err := jc1.Query("SELECT event_id, e_tot FROM events ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := jc1.QueryStream(context.Background(), "SELECT event_id, e_tot FROM events ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	if err := sr.ForEach(func(row Row) error {
+		ids = append(ids, row[0].Int)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(qr.Rows) {
+		t.Fatalf("streamed %d rows, query returned %d", len(ids), len(qr.Rows))
+	}
+	for i, r := range qr.Rows {
+		if ids[i] != r[0].Int {
+			t.Fatalf("row %d: stream %d != query %d", i, ids[i], r[0].Int)
+		}
+	}
+
+	// A dead context is refused up front.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sr, err = jc1.QueryStream(ctx, "SELECT event_id FROM events")
+	if err == nil {
+		sr.Close()
+		// Producers may surface the dead context on first Next instead.
+		if _, nerr := sr.Next(); nerr == nil {
+			t.Fatal("dead-context stream produced rows")
+		}
+	}
+}
+
+// TestGridCursorMethods exercises the cursor protocol through the public
+// server surface (client -> XML-RPC -> cursor registry).
+func TestGridCursorMethods(t *testing.T) {
+	_, jc1, _ := buildGrid(t)
+	c := jc1.Client()
+	res, err := c.Call("system.cursor.open", "SELECT event_id FROM events ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.(map[string]interface{})
+	id := m["cursor"].(string)
+	res, err = c.Call("system.cursor.fetch", id, int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk, err := dataaccess.DecodeChunk(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunk.Rows) != 2 || chunk.Done {
+		t.Fatalf("chunk = %+v", chunk)
+	}
+	if closed, err := c.Call("system.cursor.close", id); err != nil || closed != true {
+		t.Fatalf("close = %v %v", closed, err)
 	}
 }

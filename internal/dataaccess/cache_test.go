@@ -7,6 +7,7 @@ import (
 
 	"gridrdb/internal/qcache"
 	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
 )
 
 // newCachedService builds a cache-enabled service over two marts on
@@ -91,8 +92,9 @@ func TestCacheParamsDistinguishEntries(t *testing.T) {
 }
 
 // TestTrackerInvalidatesDependents is the end-to-end invalidation proof:
-// a schema change detected by the tracker evicts exactly the cached
-// entries that read the changed source; entries on other sources survive.
+// a change detected by the tracker evicts exactly the cached entries that
+// read the changed *tables* — entries on the source's other tables, and
+// on other sources, survive.
 func TestTrackerInvalidatesDependents(t *testing.T) {
 	s, my, _ := newCachedService(t)
 	tr := NewTracker(s, 0)
@@ -112,8 +114,9 @@ func TestTrackerInvalidatesDependents(t *testing.T) {
 		t.Fatalf("entries = %d, want 2", st.Entries)
 	}
 
-	// Change the MySQL mart's schema and let the tracker notice.
-	if _, err := my.Exec("CREATE TABLE bolt_on (id BIGINT PRIMARY KEY)"); err != nil {
+	// Write to the events table and let the tracker notice: its row count
+	// is part of the regenerated spec, so the diff flags exactly "events".
+	if _, err := my.Exec("INSERT INTO `events` VALUES (9001, 100, 1.5)"); err != nil {
 		t.Fatal(err)
 	}
 	updated, err := tr.CheckNow()
@@ -146,6 +149,73 @@ func TestTrackerInvalidatesDependents(t *testing.T) {
 	}
 	if _, subsAfter, _ := s.Federation().Stats(); subsAfter == subsBefore {
 		t.Fatal("evicted entry was served without re-executing")
+	}
+}
+
+// TestTrackerPerTableEviction pins the satellite bugfix: a schema change
+// confined to one table of a source no longer cold-starts the source's
+// other tables' entries (the old behaviour evicted per source), and a
+// change to an *unrelated new* table evicts nothing at all.
+func TestTrackerPerTableEviction(t *testing.T) {
+	s := New(Config{Name: "jc-pertable", CacheSize: 64})
+	t.Cleanup(func() { s.Close() })
+	// One mart hosting two tables, so both cached entries share a source.
+	my, spec := mkMart(t, "pt_mart", sqlengine.DialectMySQL, "events", 8)
+	if _, err := my.Exec("CREATE TABLE `extra` (`k` BIGINT PRIMARY KEY, `v` DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := my.Exec("INSERT INTO `extra` VALUES (1, 2.5)"); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	spec, err = xspec.Generate("pt_mart", sqlengine.DialectMySQL.Name, my)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addMart(t, s, "pt_mart", spec, "gridsql-mysql")
+
+	tr := NewTracker(s, 0)
+	if _, err := tr.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("SELECT event_id FROM events ORDER BY event_id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("SELECT k FROM extra ORDER BY k"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+
+	// A brand-new unrelated table: same source, no cached dependents.
+	if _, err := my.Exec("CREATE TABLE `bolt_on` (`id` BIGINT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Invalidations != 0 || st.Entries != 2 {
+		t.Fatalf("stats after unrelated table add = %+v, want no evictions", st)
+	}
+
+	// A change to extra evicts only extra's entry.
+	if _, err := my.Exec("INSERT INTO `extra` VALUES (2, 3.5)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CheckNow(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.Invalidations != 1 || st.Entries != 1 {
+		t.Fatalf("stats after extra change = %+v, want only extra's entry evicted", st)
+	}
+	hitsBefore := st.Hits
+	if _, err := s.Query("SELECT event_id FROM events ORDER BY event_id"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CacheStats().Hits; got != hitsBefore+1 {
+		t.Fatalf("events entry should have survived extra's change: hits %d -> %d", hitsBefore, got)
 	}
 }
 

@@ -25,6 +25,9 @@ import (
 //	dataaccess.sources()                      -> [source names]
 //	system.cachestats()                       -> {enabled, hits, misses, ...}
 //	system.cacheflush()                       -> entries dropped
+//	system.cursor.open(sql [, params...])     -> {cursor, columns, route, servers, ttl_ms}
+//	system.cursor.fetch(cursor [, n])         -> {rows, done}
+//	system.cursor.close(cursor)               -> existed
 func (s *Service) RegisterMethods(srv *clarens.Server) {
 	srv.Register("dataaccess.query", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
 		if len(args) < 1 {
@@ -133,12 +136,83 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 			"expirations":   st.Expirations,
 			"invalidations": st.Invalidations,
 			"coalesced":     st.Coalesced,
+			"rejected":      st.Rejected,
 			"entries":       int64(st.Entries),
+			"bytes":         st.Bytes,
 		}, nil
 	})
 
 	srv.Register("system.cacheflush", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
 		return int64(s.CacheFlush()), nil
+	})
+
+	// The cursor protocol pages a large scan across multiple calls with
+	// bounded server memory: open starts the streaming query and returns a
+	// cursor id, fetch returns chunks of at most fetchSize rows, close (or
+	// the idle-TTL reaper) cancels the producing query. The producing
+	// query's context is the cursor's own, not any one request's, so it
+	// survives between fetches and dies with the cursor.
+	srv.Register("system.cursor.open", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) < 1 {
+			return nil, fmt.Errorf("system.cursor.open requires (sql [, params...])")
+		}
+		sqlText, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("system.cursor.open: sql must be a string")
+		}
+		params, err := xmlrpcParams(args[1:])
+		if err != nil {
+			return nil, err
+		}
+		info, err := s.OpenCursor(ctx, sqlText, params...)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]interface{}, len(info.Columns))
+		for i, c := range info.Columns {
+			cols[i] = c
+		}
+		return map[string]interface{}{
+			"cursor":  info.ID,
+			"columns": cols,
+			"route":   string(info.Route),
+			"servers": int64(info.Servers),
+			"ttl_ms":  info.TTL.Milliseconds(),
+		}, nil
+	})
+
+	srv.Register("system.cursor.fetch", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("system.cursor.fetch requires (cursor [, n])")
+		}
+		id, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("system.cursor.fetch: cursor must be a string")
+		}
+		n := 0
+		if len(args) == 2 {
+			nn, ok := args[1].(int64)
+			if !ok {
+				return nil, fmt.Errorf("system.cursor.fetch: n must be an int, got %T", args[1])
+			}
+			n = int(nn)
+		}
+		rows, done, err := s.FetchCursor(id, n)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeChunk(rows, done), nil
+	})
+
+	srv.Register("system.cursor.close", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("system.cursor.close requires (cursor)")
+		}
+		id, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("system.cursor.close: cursor must be a string")
+		}
+		return s.CloseCursor(id), nil
 	})
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"gridrdb/internal/clarens"
 	"gridrdb/internal/netsim"
@@ -59,10 +60,25 @@ type Config struct {
 	// bounded by CacheTTL, so keep the cache off (the default) for
 	// workloads that mutate marts out of band.
 	CacheSize int
+	// CacheMaxBytes additionally bounds the cache by estimated resident
+	// bytes (0 = entry count only): LRU eviction runs against both caps,
+	// and a single result set larger than CacheAdmitFraction of the
+	// budget is refused admission instead of evicting everything else.
+	CacheMaxBytes int64
+	// CacheAdmitFraction caps one admitted entry at this fraction of
+	// CacheMaxBytes (0 selects the default, 1/8). The effective cap never
+	// exceeds one shard's budget (CacheMaxBytes / shard count): raising
+	// the fraction past that requires also lowering CacheShards.
+	CacheAdmitFraction float64
 	// CacheTTL bounds cached-entry lifetime (0 = no expiry).
 	CacheTTL time.Duration
 	// CacheShards overrides the cache shard count (0 = default).
 	CacheShards int
+	// CursorTTL bounds how long an idle server-side cursor (opened via
+	// the system.cursor.* methods) survives between fetches before the
+	// reaper cancels its query and releases its resources. 0 selects the
+	// default (2 minutes); < 0 disables reaping.
+	CursorTTL time.Duration
 }
 
 // Route identifies which module answered a query (§4.5's two modules plus
@@ -95,6 +111,8 @@ type Service struct {
 	// cache holds federated query results keyed by (SQL, params); nil
 	// when Config.CacheSize is 0.
 	cache *qcache.Cache[*QueryResult]
+	// cursors tracks open server-side result cursors (system.cursor.*).
+	cursors *cursorRegistry
 
 	mu      sync.Mutex
 	remotes map[string]*clarens.Client
@@ -113,15 +131,53 @@ func New(cfg Config) *Service {
 		ral:      poolral.New(),
 		remotes:  make(map[string]*clarens.Client),
 		ralConns: make(map[string]string),
+		cursors:  newCursorRegistry(cfg.CursorTTL),
 	}
 	if cfg.CacheSize > 0 {
-		s.cache = qcache.New[*QueryResult](qcache.Options{
-			MaxEntries: cfg.CacheSize,
-			TTL:        cfg.CacheTTL,
-			Shards:     cfg.CacheShards,
+		shards := cfg.CacheShards
+		if shards == 0 && cfg.CacheMaxBytes > 0 {
+			// The admission cap is clamped to one shard's byte budget, so
+			// with the usual 16 shards the documented default cap (1/8 of
+			// CacheMaxBytes) would silently halve. Default to 8 shards
+			// when byte-bounded so the documented cap is exact.
+			shards = 8
+		}
+		s.cache = qcache.New[*QueryResult](qcache.Options[*QueryResult]{
+			MaxEntries:       cfg.CacheSize,
+			MaxBytes:         cfg.CacheMaxBytes,
+			SizeOf:           func(qr *QueryResult) int64 { return ResultSetBytes(qr.ResultSet) },
+			MaxEntryFraction: cfg.CacheAdmitFraction,
+			TTL:              cfg.CacheTTL,
+			Shards:           shards,
 		})
 	}
 	return s
+}
+
+// Per-element footprint constants for the result-set size estimator.
+const (
+	valueBytes    = int64(unsafe.Sizeof(sqlengine.Value{}))
+	sliceHdrBytes = int64(unsafe.Sizeof([]sqlengine.Value(nil)))
+	strHdrBytes   = int64(unsafe.Sizeof(""))
+)
+
+// ResultSetBytes estimates the resident size of a materialized result
+// set: the fixed footprint of each Value plus the variable payload of
+// strings and byte slices, and the per-row slice headers. It is the
+// SizeOf estimator behind the cache's byte accounting and the streaming
+// path's cache-admission threshold.
+func ResultSetBytes(rs *sqlengine.ResultSet) int64 {
+	if rs == nil {
+		return 0
+	}
+	n := sliceHdrBytes // Rows header
+	for _, c := range rs.Columns {
+		n += strHdrBytes + int64(len(c))
+	}
+	for _, row := range rs.Rows {
+		n += rowBytes(row)
+	}
+	return n
 }
 
 func mustEmptyFederation() *unity.Federation {
@@ -208,11 +264,12 @@ func (s *Service) PublishAll() error {
 	return s.cfg.RLS.Publish(s.cfg.URL, tables)
 }
 
-// Close releases all connections.
+// Close releases all connections, cancelling any still-open cursors.
 func (s *Service) Close() error {
 	if s.cfg.RLS != nil && s.cfg.URL != "" {
 		s.cfg.RLS.Unpublish(s.cfg.URL, nil)
 	}
+	s.cursors.closeAll()
 	err1 := s.fed.Close()
 	err2 := s.ral.Close()
 	if err1 != nil {
@@ -572,14 +629,11 @@ func (s *Service) MartInvalidator(source string) func(table string) {
 
 // ---- XML-RPC result codec (shared with the Clarens method layer) ----
 
-// EncodeResult converts a result set to the XML-RPC value family.
-func EncodeResult(rs *sqlengine.ResultSet) map[string]interface{} {
-	cols := make([]interface{}, len(rs.Columns))
-	for i, c := range rs.Columns {
-		cols[i] = c
-	}
-	rows := make([]interface{}, len(rs.Rows))
-	for i, row := range rs.Rows {
+// EncodeRows converts rows to the XML-RPC value family; it is the payload
+// codec shared by full results (EncodeResult) and cursor chunks.
+func EncodeRows(rows []sqlengine.Row) []interface{} {
+	out := make([]interface{}, len(rows))
+	for i, row := range rows {
 		r := make([]interface{}, len(row))
 		for j, v := range row {
 			switch v.Kind {
@@ -599,28 +653,33 @@ func EncodeResult(rs *sqlengine.ResultSet) map[string]interface{} {
 				r[j] = v.Bytes
 			}
 		}
-		rows[i] = r
+		out[i] = r
 	}
-	return map[string]interface{}{"columns": cols, "rows": rows}
+	return out
 }
 
-// DecodeResult converts an XML-RPC result back to a result set.
-func DecodeResult(v interface{}) (*sqlengine.ResultSet, error) {
-	m, ok := v.(map[string]interface{})
+// EncodeResult converts a result set to the XML-RPC value family.
+func EncodeResult(rs *sqlengine.ResultSet) map[string]interface{} {
+	cols := make([]interface{}, len(rs.Columns))
+	for i, c := range rs.Columns {
+		cols[i] = c
+	}
+	return map[string]interface{}{"columns": cols, "rows": EncodeRows(rs.Rows)}
+}
+
+// DecodeRows converts an XML-RPC rows payload back to engine rows. A
+// payload that is not a list of lists, or a cell of an unknown type, is a
+// protocol error, reported rather than silently dropped.
+func DecodeRows(v interface{}) ([]sqlengine.Row, error) {
+	list, ok := v.([]interface{})
 	if !ok {
-		return nil, fmt.Errorf("dataaccess: unexpected result shape %T", v)
+		return nil, fmt.Errorf("dataaccess: rows payload is %T, want a list", v)
 	}
-	rs := &sqlengine.ResultSet{}
-	cols, _ := m["columns"].([]interface{})
-	for _, c := range cols {
-		name, _ := c.(string)
-		rs.Columns = append(rs.Columns, name)
-	}
-	rows, _ := m["rows"].([]interface{})
-	for _, ri := range rows {
+	rows := make([]sqlengine.Row, 0, len(list))
+	for i, ri := range list {
 		cells, ok := ri.([]interface{})
 		if !ok {
-			return nil, fmt.Errorf("dataaccess: unexpected row shape %T", ri)
+			return nil, fmt.Errorf("dataaccess: row %d is %T, want a list", i, ri)
 		}
 		row := make(sqlengine.Row, len(cells))
 		for j, cell := range cells {
@@ -640,10 +699,81 @@ func DecodeResult(v interface{}) (*sqlengine.ResultSet, error) {
 			case []byte:
 				row[j] = sqlengine.NewBytes(x)
 			default:
-				return nil, fmt.Errorf("dataaccess: unexpected cell type %T", cell)
+				return nil, fmt.Errorf("dataaccess: row %d cell %d has unexpected type %T", i, j, cell)
 			}
 		}
-		rs.Rows = append(rs.Rows, row)
+		rows = append(rows, row)
 	}
+	return rows, nil
+}
+
+// DecodeResult converts an XML-RPC result back to a result set. Malformed
+// payloads — a non-map wrapper, a missing or non-list "columns"/"rows"
+// field, a non-string column name — are errors: truncating them silently
+// (as earlier versions did) turned protocol bugs into wrong, shorter
+// answers.
+func DecodeResult(v interface{}) (*sqlengine.ResultSet, error) {
+	m, ok := v.(map[string]interface{})
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: unexpected result shape %T, want a struct", v)
+	}
+	colsRaw, ok := m["columns"]
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: result has no \"columns\" field")
+	}
+	cols, ok := colsRaw.([]interface{})
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: \"columns\" is %T, want a list", colsRaw)
+	}
+	rs := &sqlengine.ResultSet{Columns: make([]string, 0, len(cols))}
+	for i, c := range cols {
+		name, ok := c.(string)
+		if !ok {
+			return nil, fmt.Errorf("dataaccess: column %d is %T, want a string", i, c)
+		}
+		rs.Columns = append(rs.Columns, name)
+	}
+	rowsRaw, ok := m["rows"]
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: result has no \"rows\" field")
+	}
+	rows, err := DecodeRows(rowsRaw)
+	if err != nil {
+		return nil, err
+	}
+	rs.Rows = rows
 	return rs, nil
+}
+
+// Chunk is one decoded frame of the cursor fetch protocol.
+type Chunk struct {
+	Rows []sqlengine.Row
+	// Done reports stream exhaustion; a Done chunk may still carry rows.
+	Done bool
+}
+
+// EncodeChunk frames one cursor fetch response.
+func EncodeChunk(rows []sqlengine.Row, done bool) map[string]interface{} {
+	return map[string]interface{}{"rows": EncodeRows(rows), "done": done}
+}
+
+// DecodeChunk decodes one cursor fetch response.
+func DecodeChunk(v interface{}) (*Chunk, error) {
+	m, ok := v.(map[string]interface{})
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: unexpected chunk shape %T, want a struct", v)
+	}
+	rowsRaw, ok := m["rows"]
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: chunk has no \"rows\" field")
+	}
+	rows, err := DecodeRows(rowsRaw)
+	if err != nil {
+		return nil, err
+	}
+	done, ok := m["done"].(bool)
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: chunk \"done\" is %T, want a bool", m["done"])
+	}
+	return &Chunk{Rows: rows, Done: done}, nil
 }

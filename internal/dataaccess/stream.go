@@ -1,0 +1,240 @@
+package dataaccess
+
+import (
+	"context"
+	"errors"
+	"io"
+
+	"gridrdb/internal/qcache"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/unity"
+)
+
+// StreamResult is a routed query answer delivered incrementally: rows are
+// pulled from the producing backend as the consumer calls Next, so a scan
+// larger than server memory never materializes here. It implements
+// sqlengine.RowIter. Close releases the producing query's resources (and,
+// on the streaming routes, cancels its backend work); it is idempotent
+// and must always be called.
+type StreamResult struct {
+	cols []string
+	// Route identifies which module produces the rows.
+	Route Route
+	// Servers is the number of Clarens servers involved (1 = local only).
+	Servers int
+	iter    sqlengine.RowIter
+}
+
+// Columns returns the result's column names.
+func (sr *StreamResult) Columns() []string { return sr.cols }
+
+// Next returns the next row, or (nil, io.EOF) after the last one.
+func (sr *StreamResult) Next() (sqlengine.Row, error) { return sr.iter.Next() }
+
+// Close releases the producer. Idempotent.
+func (sr *StreamResult) Close() error { return sr.iter.Close() }
+
+// ForEach drains the stream through fn, closing it afterwards; a non-nil
+// error from fn stops the iteration (and the producing query) early.
+func (sr *StreamResult) ForEach(fn func(sqlengine.Row) error) error {
+	defer sr.Close()
+	for {
+		row, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+}
+
+// QueryStream is QueryStreamContext under context.Background.
+func (s *Service) QueryStream(sqlText string, params ...sqlengine.Value) (*StreamResult, error) {
+	return s.QueryStreamContext(context.Background(), sqlText, params...)
+}
+
+// QueryStreamContext is the streaming counterpart of QueryContext: parse,
+// route, and return an incremental row stream instead of a materialized
+// result set. Single-source scans — the POOL-RAL route and Unity pushdown
+// plans, the shape of the paper's large Fig-6 scans — stream straight off
+// the backend with bounded buffering; decomposed and remote queries must
+// integrate partial results first, so they execute materialized and
+// stream from memory. Cancelling ctx (or closing the stream) stops the
+// producing backend query mid-scan.
+//
+// Cache interplay: a resident entry is served (from memory) without
+// touching a backend. A cache miss fills the cache only while the
+// accumulated result stays under the cache's per-entry admission cap —
+// above that byte threshold the query streams past the cache, since a
+// result too large to admit is exactly the result that must not be
+// buffered. Without a byte budget (Config.CacheMaxBytes) streamed results
+// are never admitted: an unbounded fill buffer would defeat streaming.
+func (s *Service) QueryStreamContext(ctx context.Context, sqlText string, params ...sqlengine.Value) (*StreamResult, error) {
+	s.stats.Queries.Add(1)
+	key := cacheKey(sqlText, params)
+	// The invalidation epoch is snapshotted before the query executes —
+	// not at insert time — so a schema change or mart refresh landing
+	// while the scan is in flight suppresses the insert of the
+	// pre-invalidation rows (the same discipline qcache.Do applies).
+	var epoch int64
+	if s.cache != nil {
+		if qr, ok := s.cache.Get(key); ok {
+			return &StreamResult{
+				cols:    qr.Columns,
+				Route:   qr.Route,
+				Servers: qr.Servers,
+				iter:    sqlengine.SliceIter(qr.ResultSet),
+			}, nil
+		}
+		epoch = s.cache.Epoch()
+	}
+	plan, err := s.fed.PlanQuery(sqlText)
+	var unknown *unity.ErrUnknownTable
+	switch {
+	case err == nil:
+		return s.streamLocal(ctx, key, sqlText, plan, params, epoch)
+	case errors.As(err, &unknown):
+		qr, deps, err := s.queryWithRemote(ctx, sqlText, params)
+		if err != nil {
+			return nil, err
+		}
+		s.streamCacheFill(key, qr, deps, epoch)
+		return &StreamResult{
+			cols:    qr.Columns,
+			Route:   qr.Route,
+			Servers: qr.Servers,
+			iter:    sqlengine.SliceIter(qr.ResultSet),
+		}, nil
+	default:
+		return nil, err
+	}
+}
+
+// streamLocal routes a fully-local streaming query, mirroring queryLocal's
+// routing decision: POOL-RAL for simple single-source queries on
+// supported vendors, Unity otherwise.
+func (s *Service) streamLocal(ctx context.Context, key, sqlText string, plan *unity.Plan, params []sqlengine.Value, epoch int64) (*StreamResult, error) {
+	if !s.cfg.DisableRAL && len(params) == 0 {
+		if parts, ok, err := s.fed.ExtractRALParts(sqlText); err == nil && ok {
+			s.mu.Lock()
+			conn, supported := s.ralConns[parts.Source]
+			s.mu.Unlock()
+			if supported {
+				it, err := s.ral.QueryStreamContext(ctx, conn, parts.Fields, parts.Tables, parts.Where)
+				if err != nil {
+					return nil, err
+				}
+				s.stats.RAL.Add(1)
+				deps := make([]qcache.Dep, len(plan.Tables))
+				for i, t := range plan.Tables {
+					deps[i] = qcache.Dep{Source: parts.Source, Table: t}
+				}
+				return s.wrapStream(it, RoutePOOLRAL, key, deps, epoch), nil
+			}
+		}
+	}
+	it, err := s.fed.ExecuteStreamContext(ctx, plan, params...)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Unity.Add(1)
+	return s.wrapStream(it, RouteUnity, key, planDeps(plan), epoch), nil
+}
+
+// wrapStream builds the StreamResult for a local producer, inserting the
+// cache-fill tee when the cache can possibly admit the result. epoch is
+// the invalidation epoch snapshotted before the producer started.
+func (s *Service) wrapStream(it sqlengine.RowIter, route Route, key string, deps []qcache.Dep, epoch int64) *StreamResult {
+	sr := &StreamResult{cols: it.Columns(), Route: route, Servers: 1, iter: it}
+	if s.cache == nil {
+		return sr
+	}
+	limit := s.cache.MaxEntryBytes()
+	if limit <= 0 {
+		// No byte budget configured: a streamed result may be arbitrarily
+		// large, and buffering it for the cache would defeat streaming.
+		return sr
+	}
+	sr.iter = &cacheFillIter{
+		inner: it,
+		svc:   s,
+		key:   key,
+		deps:  deps,
+		route: route,
+		epoch: epoch,
+		limit: limit,
+		acc:   &sqlengine.ResultSet{Columns: it.Columns()},
+	}
+	return sr
+}
+
+// streamCacheFill inserts an already-materialized streaming answer into
+// the cache under the same pre-execution epoch discipline as the
+// incremental tee.
+func (s *Service) streamCacheFill(key string, qr *QueryResult, deps []qcache.Dep, epoch int64) {
+	if s.cache == nil {
+		return
+	}
+	s.cache.PutChecked(key, qr, deps, epoch)
+}
+
+// cacheFillIter tees a live stream into a bounded buffer: if the stream
+// completes while the accumulated copy is still under the cache's
+// admission cap, the copy is inserted (epoch-checked, so an invalidation
+// racing the scan wins); the moment the copy outgrows the cap it is
+// dropped and the stream continues uncached. The consumer's view of the
+// rows is unaffected either way.
+type cacheFillIter struct {
+	inner sqlengine.RowIter
+	svc   *Service
+	key   string
+	deps  []qcache.Dep
+	route Route
+	epoch int64
+	limit int64
+	acc   *sqlengine.ResultSet // nil once the copy is abandoned
+	bytes int64
+	done  bool
+}
+
+func (it *cacheFillIter) Columns() []string { return it.inner.Columns() }
+
+func (it *cacheFillIter) Next() (sqlengine.Row, error) {
+	row, err := it.inner.Next()
+	if err == io.EOF {
+		if it.acc != nil && !it.done {
+			it.done = true
+			qr := &QueryResult{ResultSet: it.acc, Route: it.route, Servers: 1}
+			it.svc.cache.PutChecked(it.key, qr, it.deps, it.epoch)
+		}
+		return nil, io.EOF
+	}
+	if err != nil {
+		it.acc = nil
+		return nil, err
+	}
+	if it.acc != nil {
+		it.bytes += rowBytes(row)
+		if it.bytes > it.limit {
+			it.acc = nil // over the admission cap: stop copying
+		} else {
+			it.acc.Rows = append(it.acc.Rows, row)
+		}
+	}
+	return row, nil
+}
+
+func (it *cacheFillIter) Close() error { return it.inner.Close() }
+
+// rowBytes estimates one row's resident size (see ResultSetBytes).
+func rowBytes(row sqlengine.Row) int64 {
+	n := sliceHdrBytes + int64(len(row))*valueBytes
+	for _, v := range row {
+		n += int64(len(v.Str)) + int64(len(v.Bytes))
+	}
+	return n
+}

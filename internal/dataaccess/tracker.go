@@ -23,7 +23,7 @@ type Tracker struct {
 	interval time.Duration
 
 	mu    sync.Mutex
-	known map[string]xspec.Fingerprint
+	known map[string]trackedSpec
 
 	stop    chan struct{}
 	stopped sync.Once
@@ -33,13 +33,21 @@ type Tracker struct {
 	updates atomic.Int64
 }
 
+// trackedSpec is the last observed generation of one source's spec: the
+// fingerprint answers "did anything change?" cheaply, and the retained
+// spec lets a detected change be diffed down to the tables it touched.
+type trackedSpec struct {
+	fp   xspec.Fingerprint
+	spec *xspec.LowerSpec
+}
+
 // NewTracker creates a tracker for a service; interval <= 0 means the
 // tracker only runs on explicit CheckNow calls (useful for tests).
 func NewTracker(svc *Service, interval time.Duration) *Tracker {
 	return &Tracker{
 		svc:      svc,
 		interval: interval,
-		known:    make(map[string]xspec.Fingerprint),
+		known:    make(map[string]trackedSpec),
 		stop:     make(chan struct{}),
 	}
 }
@@ -119,9 +127,9 @@ func (t *Tracker) checkSource(name string) (bool, error) {
 	fp := xspec.FingerprintOf(data)
 	t.mu.Lock()
 	old, seen := t.known[name]
-	t.known[name] = fp
+	t.known[name] = trackedSpec{fp: fp, spec: spec}
 	t.mu.Unlock()
-	if seen && fp.Equal(old) {
+	if seen && fp.Equal(old.fp) {
 		return false, nil
 	}
 	if !seen {
@@ -131,9 +139,21 @@ func (t *Tracker) checkSource(name string) (bool, error) {
 	if err := t.svc.fed.ReplaceSpec(name, spec); err != nil {
 		return false, err
 	}
-	// The schema changed under every cached result that read this source;
-	// evict exactly those entries (unrelated entries survive).
-	t.svc.InvalidateSource(name)
+	// Evict only the cached results that read what actually changed: the
+	// old and new specs are diffed table by table, so entries on the
+	// source's untouched tables keep serving hits. (Earlier versions
+	// evicted the whole source, cold-starting every table's entries on
+	// any change.) A shift in the inferred relationship set can reshape
+	// join plans across the source, so that falls back to whole-source
+	// eviction.
+	diff := xspec.DiffSpecs(old.spec, spec)
+	if diff.RelationshipsChanged || old.spec == nil {
+		t.svc.InvalidateSource(name)
+	} else {
+		for _, table := range diff.Tables {
+			t.svc.InvalidateTable(name, table)
+		}
+	}
 	t.updates.Add(1)
 	return true, nil
 }

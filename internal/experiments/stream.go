@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/sqldriver"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// StreamQuery is the large-scan shape measured by the streaming
+// experiment: an unfiltered single-table scan (the paper's Fig-6 row-count
+// sweeps), which routes through POOL-RAL and streams straight off the
+// backend cursor.
+const StreamQuery = "SELECT event_id, run, e_tot FROM scan_events"
+
+// StreamRow is the streamed-versus-materialized datapoint cmd/benchrepro
+// writes to BENCH_stream.json: how long until the first row is in the
+// consumer's hands, how long the whole scan takes, and how many bytes each
+// path allocates. Materialization cannot yield a row before the last one
+// is fetched, so its first-row latency equals its total latency; the
+// streaming path's first-row latency is the win the cursor subsystem
+// exists for.
+type StreamRow struct {
+	// Rows is the scanned table's row count.
+	Rows int `json:"rows"`
+	// MaterializedNsOp / MaterializedFirstRowNs time the Query path.
+	MaterializedNsOp       int64 `json:"materialized_ns_op"`
+	MaterializedFirstRowNs int64 `json:"materialized_first_row_ns"`
+	// MaterializedAllocBytes is the allocation volume of one materialized
+	// scan (a heap-growth proxy for peak RSS).
+	MaterializedAllocBytes int64 `json:"materialized_alloc_bytes"`
+	// StreamNsOp / StreamFirstRowNs / StreamAllocBytes time the
+	// QueryStream path draining row by row without accumulating.
+	StreamNsOp       int64 `json:"stream_ns_op"`
+	StreamFirstRowNs int64 `json:"stream_first_row_ns"`
+	StreamAllocBytes int64 `json:"stream_alloc_bytes"`
+	// FirstRowSpeedup is MaterializedFirstRowNs / StreamFirstRowNs.
+	FirstRowSpeedup float64 `json:"first_row_speedup"`
+}
+
+// streamTestbed builds a single-mart service hosting scan_events with n
+// generated rows (cache off, so both paths hit the backend every time).
+func streamTestbed(n int) (*dataaccess.Service, func(), error) {
+	e := sqlengine.NewEngine("streammart", sqlengine.DialectMySQL)
+	ddl := "CREATE TABLE `scan_events` (`event_id` BIGINT PRIMARY KEY, `run` BIGINT, `e_tot` DOUBLE)"
+	if _, err := e.Exec(ddl); err != nil {
+		return nil, nil, err
+	}
+	rows := make([]sqlengine.Row, n)
+	for i := range rows {
+		rows[i] = sqlengine.Row{
+			sqlengine.NewInt(int64(i + 1)),
+			sqlengine.NewInt(int64(100 + i%7)),
+			sqlengine.NewFloat(float64(i) + 0.5),
+		}
+	}
+	if _, err := e.InsertRows("scan_events", rows); err != nil {
+		return nil, nil, err
+	}
+	sqldriver.RegisterEngine(e)
+	svc := dataaccess.New(dataaccess.Config{Name: "stream-bench"})
+	spec, err := xspec.Generate("streammart", e.Dialect().Name, e)
+	if err != nil {
+		sqldriver.UnregisterEngine("streammart")
+		return nil, nil, err
+	}
+	ref := xspec.SourceRef{Name: "streammart", URL: "local://streammart", Driver: e.Dialect().DriverName}
+	if err := svc.AddDatabase(ref, spec, "", ""); err != nil {
+		sqldriver.UnregisterEngine("streammart")
+		return nil, nil, err
+	}
+	cleanup := func() {
+		svc.Close()
+		sqldriver.UnregisterEngine("streammart")
+	}
+	return svc, cleanup, nil
+}
+
+// allocSince reads the cumulative allocation counter (monotonic, so it
+// measures allocation volume even across GCs).
+func allocSince(base uint64) int64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return int64(m.TotalAlloc - base)
+}
+
+func allocBase() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.TotalAlloc
+}
+
+// RunStream measures StreamQuery over a table of n rows, repeats times,
+// through the materializing Query path and the streaming QueryStream
+// path, and averages the datapoints.
+func RunStream(n, repeats int) (StreamRow, error) {
+	if n <= 0 {
+		n = 5000
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	svc, cleanup, err := streamTestbed(n)
+	if err != nil {
+		return StreamRow{}, err
+	}
+	defer cleanup()
+
+	row := StreamRow{Rows: n}
+	for i := 0; i < repeats; i++ {
+		base := allocBase()
+		t0 := time.Now()
+		qr, err := svc.Query(StreamQuery)
+		if err != nil {
+			return row, fmt.Errorf("materialized scan: %w", err)
+		}
+		elapsed := time.Since(t0)
+		if len(qr.Rows) != n {
+			return row, fmt.Errorf("materialized scan returned %d rows, want %d", len(qr.Rows), n)
+		}
+		row.MaterializedAllocBytes += allocSince(base)
+		row.MaterializedNsOp += elapsed.Nanoseconds()
+		// The first row is only usable once the whole result arrived.
+		row.MaterializedFirstRowNs += elapsed.Nanoseconds()
+	}
+
+	for i := 0; i < repeats; i++ {
+		base := allocBase()
+		t0 := time.Now()
+		sr, err := svc.QueryStreamContext(context.Background(), StreamQuery)
+		if err != nil {
+			return row, fmt.Errorf("streamed scan: %w", err)
+		}
+		got := 0
+		var firstRow time.Duration
+		for {
+			r, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				sr.Close()
+				return row, fmt.Errorf("streamed scan: %w", err)
+			}
+			if got == 0 {
+				firstRow = time.Since(t0)
+			}
+			got++
+			_ = r
+		}
+		elapsed := time.Since(t0)
+		sr.Close()
+		if got != n {
+			return row, fmt.Errorf("streamed scan returned %d rows, want %d", got, n)
+		}
+		row.StreamAllocBytes += allocSince(base)
+		row.StreamNsOp += elapsed.Nanoseconds()
+		row.StreamFirstRowNs += firstRow.Nanoseconds()
+	}
+
+	div := int64(repeats)
+	row.MaterializedNsOp /= div
+	row.MaterializedFirstRowNs /= div
+	row.MaterializedAllocBytes /= div
+	row.StreamNsOp /= div
+	row.StreamFirstRowNs /= div
+	row.StreamAllocBytes /= div
+	if row.StreamFirstRowNs > 0 {
+		row.FirstRowSpeedup = float64(row.MaterializedFirstRowNs) / float64(row.StreamFirstRowNs)
+	}
+	return row, nil
+}

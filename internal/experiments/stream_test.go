@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestRunStreamSmoke: the streaming experiment completes at CI scale and
+// produces internally consistent numbers.
+func TestRunStreamSmoke(t *testing.T) {
+	row, err := RunStream(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Rows != 400 {
+		t.Fatalf("rows = %d", row.Rows)
+	}
+	if row.MaterializedNsOp <= 0 || row.StreamNsOp <= 0 {
+		t.Fatalf("timings: %+v", row)
+	}
+	if row.StreamFirstRowNs <= 0 || row.StreamFirstRowNs > row.StreamNsOp {
+		t.Fatalf("first-row latency out of range: %+v", row)
+	}
+	if row.MaterializedFirstRowNs != row.MaterializedNsOp {
+		t.Fatalf("materialized first row must equal total: %+v", row)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"database/sql"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -184,6 +185,20 @@ func (r *RAL) QueryValues(connString string, fields, tables []string, where stri
 // (the paper's one-handle-per-database discipline), so cancelling ctx
 // interrupts the statement rather than just the row iteration.
 func (r *RAL) QueryValuesContext(ctx context.Context, connString string, fields, tables []string, where string) (*sqlengine.ResultSet, error) {
+	it, err := r.QueryStreamContext(ctx, connString, fields, tables, where)
+	if err != nil {
+		return nil, err
+	}
+	return sqlengine.Drain(it)
+}
+
+// QueryStreamContext executes the select described by (fields, tables,
+// where) and returns an incremental row iterator instead of a materialized
+// result: each Next pulls one row from the backend, so a large scan is
+// never buffered whole in this layer. The dedicated connection stays
+// checked out until the iterator is closed; cancelling ctx interrupts the
+// statement mid-scan.
+func (r *RAL) QueryStreamContext(ctx context.Context, connString string, fields, tables []string, where string) (sqlengine.RowIter, error) {
 	h, err := r.handle(connString)
 	if err != nil {
 		return nil, err
@@ -196,37 +211,67 @@ func (r *RAL) QueryValuesContext(ctx context.Context, connString string, fields,
 	if err != nil {
 		return nil, fmt.Errorf("poolral: %s: %w", connString, err)
 	}
-	defer conn.Close()
 	rows, err := conn.QueryContext(ctx, query)
 	if err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("poolral: %s: %w", connString, err)
 	}
-	defer rows.Close()
 	cols, err := rows.Columns()
 	if err != nil {
-		return nil, err
+		rows.Close()
+		conn.Close()
+		return nil, fmt.Errorf("poolral: %s: %w", connString, err)
 	}
-	rs := &sqlengine.ResultSet{Columns: cols}
-	for rows.Next() {
-		raw := make([]interface{}, len(cols))
-		ptrs := make([]interface{}, len(cols))
-		for i := range raw {
-			ptrs[i] = &raw[i]
+	return &ralRowsIter{conn: connString, rows: rows, release: conn, cols: cols}, nil
+}
+
+// ralRowsIter streams a RAL query's rows off its dedicated connection.
+type ralRowsIter struct {
+	conn    string
+	rows    *sql.Rows
+	release *sql.Conn
+	cols    []string
+	closed  bool
+}
+
+func (it *ralRowsIter) Columns() []string { return it.cols }
+
+func (it *ralRowsIter) Next() (sqlengine.Row, error) {
+	if !it.rows.Next() {
+		if err := it.rows.Err(); err != nil {
+			return nil, fmt.Errorf("poolral: %s: %w", it.conn, err)
 		}
-		if err := rows.Scan(ptrs...); err != nil {
-			return nil, err
-		}
-		row := make(sqlengine.Row, len(cols))
-		for i, x := range raw {
-			v, err := goToValue(x)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		rs.Rows = append(rs.Rows, row)
+		return nil, io.EOF
 	}
-	return rs, rows.Err()
+	raw := make([]interface{}, len(it.cols))
+	ptrs := make([]interface{}, len(it.cols))
+	for i := range raw {
+		ptrs[i] = &raw[i]
+	}
+	if err := it.rows.Scan(ptrs...); err != nil {
+		return nil, fmt.Errorf("poolral: %s: %w", it.conn, err)
+	}
+	row := make(sqlengine.Row, len(it.cols))
+	for i, x := range raw {
+		v, err := goToValue(x)
+		if err != nil {
+			return nil, fmt.Errorf("poolral: %s: %w", it.conn, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func (it *ralRowsIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	err := it.rows.Close()
+	if cerr := it.release.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Query is method 2 of the JNI wrapper: it returns the result as a 2-D

@@ -3,6 +3,7 @@ package poolral
 import (
 	"context"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -193,5 +194,74 @@ func TestQueryValuesContextCancelled(t *testing.T) {
 	rs, err := r.QueryValuesContext(context.Background(), conn, []string{"id"}, []string{"ev"}, `"run" = 100`)
 	if err != nil || len(rs.Rows) != 2 {
 		t.Fatalf("post-cancel query: %v rows=%d", err, len(rs.Rows))
+	}
+}
+
+// TestQueryStream: the incremental RAL path yields the same rows as the
+// materializing one, respects io.EOF termination, and double-Close is
+// safe.
+func TestQueryStream(t *testing.T) {
+	localOracle(t, "whora_stream")
+	r := New()
+	defer r.Close()
+	conn := "oracle:local://whora_stream"
+	if err := r.InitHandler(conn, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	it, err := r.QueryStreamContext(context.Background(), conn, []string{"id", "e"}, []string{"ev"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols := it.Columns(); len(cols) != 2 {
+		t.Fatalf("columns = %v", cols)
+	}
+	n := 0
+	for {
+		row, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row) != 2 {
+			t.Fatalf("row = %v", row)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("streamed %d rows, want 3", n)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal("double close:", err)
+	}
+
+	// Equivalence with the materializing path.
+	rs, err := r.QueryValuesContext(context.Background(), conn, []string{"id", "e"}, []string{"ev"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 3 {
+		t.Fatalf("materialized rows = %d", len(rs.Rows))
+	}
+}
+
+// TestQueryStreamDeadContext: a cancelled context is rejected before any
+// connection is pinned.
+func TestQueryStreamDeadContext(t *testing.T) {
+	localOracle(t, "whora_streamdead")
+	r := New()
+	defer r.Close()
+	conn := "oracle:local://whora_streamdead"
+	if err := r.InitHandler(conn, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.QueryStreamContext(ctx, conn, nil, []string{"ev"}, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
 	}
 }

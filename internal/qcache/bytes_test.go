@@ -1,0 +1,168 @@
+package qcache
+
+import (
+	"strings"
+	"testing"
+)
+
+// byteCache builds a single-shard cache sized in bytes with a SizeOf that
+// charges one byte per character of the cached string.
+func byteCache(maxBytes int64, frac float64) *Cache[string] {
+	return New[string](Options[string]{
+		MaxEntries:       1024,
+		MaxBytes:         maxBytes,
+		SizeOf:           func(v string) int64 { return int64(len(v)) },
+		MaxEntryFraction: frac,
+		Shards:           1,
+	})
+}
+
+// TestBytesEviction: the byte budget, not the entry count, bounds the
+// cache — inserting past it evicts LRU entries until the account fits.
+func TestBytesEviction(t *testing.T) {
+	// Budget of 4 entries' worth: each entry costs 100 payload +
+	// entryOverhead bookkeeping.
+	entryCost := int64(100 + entryOverhead)
+	c := byteCache(4*entryCost, 1) // fraction 1: admission won't interfere
+	payload := strings.Repeat("x", 100)
+	for i := 0; i < 6; i++ {
+		c.Put(key(i), payload, nil)
+	}
+	st := c.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4 (byte-bounded)", st.Entries)
+	}
+	if st.Bytes > 4*entryCost {
+		t.Fatalf("bytes = %d, over the %d budget", st.Bytes, 4*entryCost)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	// LRU order: the two oldest are gone, the rest remain.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(key(i)); ok {
+			t.Fatalf("oldest entry %d survived byte eviction", i)
+		}
+	}
+	for i := 2; i < 6; i++ {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("recent entry %d was evicted", i)
+		}
+	}
+}
+
+// TestBytesAccountOnRemoval: invalidation and flush return their bytes to
+// the account.
+func TestBytesAccountOnRemoval(t *testing.T) {
+	c := byteCache(1<<20, 1)
+	c.Put("a", strings.Repeat("x", 500), []Dep{{Source: "s1", Table: "t1"}})
+	c.Put("b", strings.Repeat("y", 300), []Dep{{Source: "s2", Table: "t2"}})
+	before := c.Bytes()
+	if before <= 800 {
+		t.Fatalf("bytes = %d, want > 800", before)
+	}
+	c.InvalidateTable("s1", "t1")
+	if got := c.Bytes(); got != before-500-entryOverhead {
+		t.Fatalf("bytes after invalidation = %d, want %d", got, before-500-entryOverhead)
+	}
+	c.Flush()
+	if got := c.Bytes(); got != 0 {
+		t.Fatalf("bytes after flush = %d, want 0", got)
+	}
+}
+
+// TestAdmissionPolicyRejectsHuge: one result set larger than the
+// configured fraction of the cache is refused admission instead of
+// evicting everything else, and the rejection is counted.
+func TestAdmissionPolicyRejectsHuge(t *testing.T) {
+	c := byteCache(10_000, 0.25) // admission cap: 2500 bytes
+	small := strings.Repeat("s", 100)
+	c.Put("keep", small, nil)
+	if !c.Put("ok", strings.Repeat("m", 2000), nil) {
+		t.Fatal("2000-byte entry under the 2500-byte cap was rejected")
+	}
+	if c.Put("huge", strings.Repeat("h", 5000), nil) {
+		t.Fatal("5000-byte entry over the 2500-byte cap was admitted")
+	}
+	st := c.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("rejected entry is readable")
+	}
+	// The small residents were not collateral damage.
+	if _, ok := c.Get("keep"); !ok {
+		t.Fatal("resident entry evicted by a rejected insert")
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", st.Evictions)
+	}
+}
+
+// TestRejectedUpdateDropsStaleEntry: when a key's fresh value is rejected
+// by the admission policy, the stale cached value must not keep serving.
+func TestRejectedUpdateDropsStaleEntry(t *testing.T) {
+	c := byteCache(10_000, 0.25)
+	c.Put("k", "small-v1", nil)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("v1 missing")
+	}
+	c.Put("k", strings.Repeat("b", 5000), nil) // v2 too big to admit
+	if v, ok := c.Get("k"); ok {
+		t.Fatalf("stale v1 still served after its update was rejected: %q", v[:8])
+	}
+}
+
+// TestAdmissionCapClampedToShard: with multiple shards the per-entry cap
+// cannot exceed one shard's budget, whatever the fraction says.
+func TestAdmissionCapClampedToShard(t *testing.T) {
+	c := New[string](Options[string]{
+		MaxEntries: 1024,
+		MaxBytes:   8000,
+		SizeOf:     func(v string) int64 { return int64(len(v)) },
+		// Fraction 1.0 would allow 8000, but each of 4 shards only holds
+		// 2000.
+		MaxEntryFraction: 1.0,
+		Shards:           4,
+	})
+	if got := c.MaxEntryBytes(); got != 2000 {
+		t.Fatalf("MaxEntryBytes = %d, want the 2000-byte shard budget", got)
+	}
+}
+
+// TestNoBytePolicyByDefault: without MaxBytes nothing is sized, rejected
+// or byte-evicted — the pre-existing entry-count behaviour.
+func TestNoBytePolicyByDefault(t *testing.T) {
+	c := New[string](Options[string]{MaxEntries: 8, Shards: 1})
+	if c.MaxEntryBytes() != 0 {
+		t.Fatalf("MaxEntryBytes = %d, want 0", c.MaxEntryBytes())
+	}
+	if !c.Put("k", strings.Repeat("z", 1<<20), nil) {
+		t.Fatal("unbounded cache rejected an entry")
+	}
+	st := c.Stats()
+	if st.Rejected != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPutCheckedEpoch: an invalidation between the epoch snapshot and the
+// insert suppresses the insert.
+func TestPutCheckedEpoch(t *testing.T) {
+	c := New[string](Options[string]{MaxEntries: 8})
+	epoch := c.Epoch()
+	if !c.PutChecked("fresh", "v", nil, epoch) {
+		t.Fatal("insert under an unchanged epoch failed")
+	}
+	epoch = c.Epoch()
+	c.Flush() // bumps the epoch
+	if c.PutChecked("stale", "v", nil, epoch) {
+		t.Fatal("insert under a moved epoch succeeded")
+	}
+	if _, ok := c.Get("stale"); ok {
+		t.Fatal("stale value is resident")
+	}
+}
+
+func key(i int) string { return string(rune('a' + i)) }

@@ -12,7 +12,7 @@ import (
 // its ctx.Err() promptly, while the leader's shared computation survives,
 // completes, and is cached.
 func TestDoFollowerAbandon(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	started := make(chan struct{})
 	release := make(chan struct{})
 
@@ -64,7 +64,7 @@ func TestDoFollowerAbandon(t *testing.T) {
 // value because the computation runs on a context detached from any one
 // caller.
 func TestDoLeaderAbandonFollowerSurvives(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	started := make(chan struct{})
 	release := make(chan struct{})
 
@@ -114,7 +114,7 @@ func TestDoLeaderAbandonFollowerSurvives(t *testing.T) {
 // and a later caller starts a fresh computation instead of inheriting the
 // doomed one.
 func TestDoLastWaiterCancelsComputation(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	started := make(chan struct{})
 	cancelled := make(chan struct{})
 
@@ -150,7 +150,7 @@ func TestDoLastWaiterCancelsComputation(t *testing.T) {
 // TestDoDeadCtxShortCircuits: a caller arriving with an already-dead
 // context gets its error back without fn ever running.
 func TestDoDeadCtxShortCircuits(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, _, err := c.Do(ctx, "k", func(context.Context) (int, []Dep, error) {
@@ -175,7 +175,7 @@ func TestDoDeadCtxShortCircuits(t *testing.T) {
 // must be converted to an error delivered to every waiter instead of
 // killing the process.
 func TestDoPanicInComputation(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	_, _, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
 		panic("kaboom")
 	})

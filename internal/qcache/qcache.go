@@ -11,6 +11,12 @@
 // keys, so InvalidateSource / InvalidateTable are O(dependent entries),
 // not O(cache size).
 //
+// Memory is bounded two ways: by entry count (MaxEntries) and — when
+// MaxBytes and a SizeOf estimator are configured — by estimated resident
+// bytes, with LRU eviction against both caps and an admission policy
+// (MaxEntryFraction) that refuses any single result set large enough to
+// dominate the cache instead of letting it evict everything else.
+//
 // Do is context-aware with singleflight-detached semantics: a caller
 // abandoning a coalesced wait gets its ctx.Err() back promptly without
 // cancelling the shared computation, which keeps running for the other
@@ -38,10 +44,27 @@ type Dep struct {
 }
 
 // Options configures a Cache.
-type Options struct {
+type Options[V any] struct {
 	// MaxEntries bounds the total entry count across all shards;
 	// <= 0 selects the default (1024).
 	MaxEntries int
+	// MaxBytes bounds the total estimated resident size across all shards
+	// (the budget is split evenly per shard); <= 0 disables byte
+	// accounting. Entry sizes come from SizeOf plus a fixed bookkeeping
+	// overhead, so one huge result set can no longer blow the heap while
+	// the entry count still looks small.
+	MaxBytes int64
+	// SizeOf estimates the resident size of a value in bytes. nil with
+	// MaxBytes > 0 counts only the per-entry overhead constant, which
+	// bounds entry count, not payload — supply a real estimator.
+	SizeOf func(V) int64
+	// MaxEntryFraction is the admission policy: a single entry larger
+	// than this fraction of MaxBytes is rejected outright rather than
+	// admitted and immediately evicting everything else. <= 0 selects the
+	// default (1/8). The cap is additionally clamped to one shard's byte
+	// budget (MaxBytes/Shards), since an entry must fit in its shard;
+	// lower Shards to admit bigger entries. Ignored when MaxBytes <= 0.
+	MaxEntryFraction float64
 	// TTL bounds entry lifetime; <= 0 disables expiry.
 	TTL time.Duration
 	// Shards is the shard count (rounded up to a power of two);
@@ -53,16 +76,24 @@ type Options struct {
 type Stats struct {
 	Hits          int64
 	Misses        int64
-	Evictions     int64 // LRU capacity evictions
+	Evictions     int64 // LRU capacity evictions (by entry count or bytes)
 	Expirations   int64 // TTL lapses observed on Get
 	Invalidations int64 // entries removed by dependency invalidation
 	Coalesced     int64 // callers that piggybacked on an in-flight compute
+	Rejected      int64 // values refused admission by the size policy
 	Entries       int   // current live entries
+	Bytes         int64 // estimated resident bytes of live entries
 }
 
 const (
 	defaultMaxEntries = 1024
 	defaultShards     = 16
+	// defaultMaxEntryFraction is the admission cap when MaxBytes is set
+	// but MaxEntryFraction is not.
+	defaultMaxEntryFraction = 0.125
+	// entryOverhead is charged per entry on top of SizeOf: the key, the
+	// entry struct, the LRU element and the index bookkeeping.
+	entryOverhead = 160
 )
 
 // entry is one cached value with its LRU hook and dependency list.
@@ -70,6 +101,7 @@ type entry[V any] struct {
 	key     string
 	val     V
 	deps    []Dep
+	size    int64     // estimated resident bytes (incl. entryOverhead)
 	expires time.Time // zero = never
 	elem    *list.Element
 }
@@ -80,6 +112,10 @@ type shard[V any] struct {
 	ent map[string]*entry[V]
 	lru *list.List // front = most recent; values are *entry[V]
 	cap int
+	// bytes is the summed size of live entries; capBytes bounds it
+	// (0 = unbounded).
+	bytes    int64
+	capBytes int64
 	// byDep indexes live keys by exact (source, table) dependency, and
 	// bySource by source alone, so both invalidation granularities are
 	// direct lookups.
@@ -102,12 +138,16 @@ type call[V any] struct {
 
 // Cache is a sharded TTL'd LRU with dependency invalidation.
 type Cache[V any] struct {
-	opts   Options
+	opts   Options[V]
 	shards []*shard[V]
 	mask   uint32
 
 	fmu    sync.Mutex
 	flight map[string]*call[V]
+
+	// maxEntryBytes is the resolved admission cap for one entry
+	// (0 = no byte policy).
+	maxEntryBytes int64
 
 	hits          atomic.Int64
 	misses        atomic.Int64
@@ -115,6 +155,7 @@ type Cache[V any] struct {
 	expirations   atomic.Int64
 	invalidations atomic.Int64
 	coalesced     atomic.Int64
+	rejected      atomic.Int64
 
 	// epoch counts invalidation events. Do snapshots it before running
 	// fn and skips the Put when it moved: an invalidation that raced the
@@ -126,7 +167,7 @@ type Cache[V any] struct {
 }
 
 // New creates a cache with the given options.
-func New[V any](opts Options) *Cache[V] {
+func New[V any](opts Options[V]) *Cache[V] {
 	if opts.MaxEntries <= 0 {
 		opts.MaxEntries = defaultMaxEntries
 	}
@@ -144,6 +185,24 @@ func New[V any](opts Options) *Cache[V] {
 		}
 	}
 	c := &Cache[V]{opts: opts, mask: uint32(n - 1), flight: make(map[string]*call[V])}
+	perBytes := int64(0)
+	if opts.MaxBytes > 0 {
+		perBytes = opts.MaxBytes / int64(n)
+		if perBytes < 1 {
+			perBytes = 1
+		}
+		frac := opts.MaxEntryFraction
+		if frac <= 0 {
+			frac = defaultMaxEntryFraction
+		}
+		c.maxEntryBytes = int64(frac * float64(opts.MaxBytes))
+		if c.maxEntryBytes > perBytes {
+			c.maxEntryBytes = perBytes
+		}
+		if c.maxEntryBytes < 1 {
+			c.maxEntryBytes = 1
+		}
+	}
 	per := opts.MaxEntries / n
 	rem := opts.MaxEntries % n
 	for i := 0; i < n; i++ {
@@ -155,12 +214,29 @@ func New[V any](opts Options) *Cache[V] {
 			ent:      make(map[string]*entry[V]),
 			lru:      list.New(),
 			cap:      cap,
+			capBytes: perBytes,
 			byDep:    make(map[Dep]map[string]struct{}),
 			bySource: make(map[string]map[string]struct{}),
 		})
 	}
 	return c
 }
+
+// sizeOf estimates one value's resident footprint, bookkeeping included.
+func (c *Cache[V]) sizeOf(val V) int64 {
+	size := int64(entryOverhead)
+	if c.opts.SizeOf != nil {
+		size += c.opts.SizeOf(val)
+	}
+	return size
+}
+
+// MaxEntryBytes reports the admission cap for a single entry (0 = no byte
+// policy configured). Callers producing results incrementally can use it
+// as the "stop buffering for the cache" threshold: once a stream has
+// grown past this size it can never be admitted, so accumulating further
+// rows for the cache is wasted memory.
+func (c *Cache[V]) MaxEntryBytes() int64 { return c.maxEntryBytes }
 
 func (c *Cache[V]) shardFor(key string) *shard[V] {
 	h := fnv.New32a()
@@ -202,9 +278,23 @@ func (c *Cache[V]) get(key string, count bool) (V, bool) {
 }
 
 // Put stores a value with its dependency set, evicting LRU entries past
-// the shard's capacity.
-func (c *Cache[V]) Put(key string, val V, deps []Dep) {
+// the shard's entry or byte capacity, and reports whether the value was
+// admitted. A value failing the admission policy (larger than
+// MaxEntryBytes) is not stored — and any stale entry under the same key
+// is dropped, since serving the old value for a key whose fresh value was
+// rejected would hide the update.
+func (c *Cache[V]) Put(key string, val V, deps []Dep) bool {
 	sh := c.shardFor(key)
+	size := c.sizeOf(val)
+	if c.maxEntryBytes > 0 && size > c.maxEntryBytes {
+		c.rejected.Add(1)
+		sh.mu.Lock()
+		if old, ok := sh.ent[key]; ok {
+			sh.removeLocked(old)
+		}
+		sh.mu.Unlock()
+		return false
+	}
 	var expires time.Time
 	if c.opts.TTL > 0 {
 		expires = time.Now().Add(c.opts.TTL)
@@ -214,21 +304,30 @@ func (c *Cache[V]) Put(key string, val V, deps []Dep) {
 	if old, ok := sh.ent[key]; ok {
 		sh.removeLocked(old)
 	}
-	e := &entry[V]{key: key, val: val, deps: deps, expires: expires}
+	e := &entry[V]{key: key, val: val, deps: deps, size: size, expires: expires}
 	e.elem = sh.lru.PushFront(e)
 	sh.ent[key] = e
+	sh.bytes += size
 	for _, d := range deps {
 		addIndex(sh.byDep, d, key)
 		addIndex(sh.bySource, d.Source, key)
 	}
-	for sh.lru.Len() > sh.cap {
+	for sh.lru.Len() > sh.cap || (sh.capBytes > 0 && sh.bytes > sh.capBytes) {
 		oldest := sh.lru.Back()
 		if oldest == nil {
 			break
 		}
-		sh.removeLocked(oldest.Value.(*entry[V]))
+		victim := oldest.Value.(*entry[V])
+		if victim == e && sh.lru.Len() == 1 {
+			// The new entry alone fits the admission cap but not the
+			// shard: never happens (the cap is clamped to the shard
+			// budget), kept as a guard against future cap changes.
+			break
+		}
+		sh.removeLocked(victim)
 		c.evictions.Add(1)
 	}
+	return true
 }
 
 func addIndex[K comparable](idx map[K]map[string]struct{}, k K, key string) {
@@ -249,11 +348,12 @@ func dropIndex[K comparable](idx map[K]map[string]struct{}, k K, key string) {
 	}
 }
 
-// removeLocked unlinks an entry from the map, the LRU list and both
-// dependency indexes. The shard lock must be held.
+// removeLocked unlinks an entry from the map, the LRU list, the byte
+// account and both dependency indexes. The shard lock must be held.
 func (sh *shard[V]) removeLocked(e *entry[V]) {
 	delete(sh.ent, e.key)
 	sh.lru.Remove(e.elem)
+	sh.bytes -= e.size
 	for _, d := range e.deps {
 		dropIndex(sh.byDep, d, e.key)
 		dropIndex(sh.bySource, d.Source, e.key)
@@ -367,6 +467,24 @@ func (c *Cache[V]) abandon(key string, cl *call[V]) {
 	}
 }
 
+// Epoch returns the current invalidation epoch. Callers computing a value
+// outside Do (e.g. incrementally, from a stream) snapshot it before the
+// computation and hand it to PutChecked afterwards, getting the same
+// stale-insert protection Do applies internally.
+func (c *Cache[V]) Epoch() int64 { return c.epoch.Load() }
+
+// PutChecked is Put guarded by an invalidation-epoch snapshot: the value
+// is stored only if no invalidation has run since the caller's Epoch()
+// call, so a result computed from pre-invalidation state cannot outlive
+// the invalidation. It reports whether the value was stored (admission
+// rejection also returns false).
+func (c *Cache[V]) PutChecked(key string, val V, deps []Dep, epoch int64) bool {
+	if c.epoch.Load() != epoch {
+		return false
+	}
+	return c.Put(key, val, deps)
+}
+
 // InvalidateSource evicts every entry that depends on any table of the
 // given source; it returns the number of entries removed.
 func (c *Cache[V]) InvalidateSource(source string) int {
@@ -416,6 +534,7 @@ func (c *Cache[V]) Flush() int {
 		total += len(sh.ent)
 		sh.ent = make(map[string]*entry[V])
 		sh.lru.Init()
+		sh.bytes = 0
 		sh.byDep = make(map[Dep]map[string]struct{})
 		sh.bySource = make(map[string]map[string]struct{})
 		sh.mu.Unlock()
@@ -435,6 +554,17 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
+// Bytes reports the estimated resident size of live entries.
+func (c *Cache[V]) Bytes() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Stats snapshots the counters.
 func (c *Cache[V]) Stats() Stats {
 	return Stats{
@@ -444,6 +574,8 @@ func (c *Cache[V]) Stats() Stats {
 		Expirations:   c.expirations.Load(),
 		Invalidations: c.invalidations.Load(),
 		Coalesced:     c.coalesced.Load(),
+		Rejected:      c.rejected.Load(),
 		Entries:       c.Len(),
+		Bytes:         c.Bytes(),
 	}
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func TestGetPutHitMiss(t *testing.T) {
-	c := New[string](Options{MaxEntries: 8})
+	c := New[string](Options[string]{MaxEntries: 8})
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("hit on empty cache")
 	}
@@ -28,7 +28,7 @@ func TestGetPutHitMiss(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	// Single shard so the LRU order is global and deterministic.
-	c := New[int](Options{MaxEntries: 3, Shards: 1})
+	c := New[int](Options[int]{MaxEntries: 3, Shards: 1})
 	for i := 0; i < 3; i++ {
 		c.Put(fmt.Sprintf("k%d", i), i, nil)
 	}
@@ -48,7 +48,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestTTLExpiry(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8, TTL: 10 * time.Millisecond})
+	c := New[int](Options[int]{MaxEntries: 8, TTL: 10 * time.Millisecond})
 	c.Put("k", 1, nil)
 	if _, ok := c.Get("k"); !ok {
 		t.Fatal("fresh entry should hit")
@@ -63,7 +63,7 @@ func TestTTLExpiry(t *testing.T) {
 }
 
 func TestDependencyInvalidation(t *testing.T) {
-	c := New[int](Options{MaxEntries: 64})
+	c := New[int](Options[int]{MaxEntries: 64})
 	c.Put("q1", 1, []Dep{{Source: "s1", Table: "events"}})
 	c.Put("q2", 2, []Dep{{Source: "s1", Table: "runs"}})
 	c.Put("q3", 3, []Dep{{Source: "s2", Table: "events"}})
@@ -99,7 +99,7 @@ func TestDependencyInvalidation(t *testing.T) {
 }
 
 func TestEvictionCleansDepIndex(t *testing.T) {
-	c := New[int](Options{MaxEntries: 1, Shards: 1})
+	c := New[int](Options[int]{MaxEntries: 1, Shards: 1})
 	c.Put("q1", 1, []Dep{{Source: "s1", Table: "t"}})
 	c.Put("q2", 2, []Dep{{Source: "s1", Table: "t"}}) // evicts q1
 	if n := c.InvalidateTable("s1", "t"); n != 1 {
@@ -108,7 +108,7 @@ func TestEvictionCleansDepIndex(t *testing.T) {
 }
 
 func TestFlush(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	c.Put("a", 1, nil)
 	c.Put("b", 2, []Dep{{Source: "s", Table: "t"}})
 	if n := c.Flush(); n != 2 {
@@ -123,7 +123,7 @@ func TestFlush(t *testing.T) {
 }
 
 func TestDoSingleflight(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	var computes atomic.Int64
 	const workers = 16
 	start := make(chan struct{})
@@ -162,7 +162,7 @@ func TestDoSingleflight(t *testing.T) {
 }
 
 func TestDoErrorNotCached(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	wantErr := errors.New("boom")
 	if _, _, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) { return 0, nil, wantErr }); !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v", err)
@@ -180,7 +180,7 @@ func TestDoErrorNotCached(t *testing.T) {
 // TestConcurrentHammer drives every operation from many goroutines at
 // once; run with -race to verify the locking discipline.
 func TestConcurrentHammer(t *testing.T) {
-	c := New[int](Options{MaxEntries: 128, Shards: 8, TTL: 50 * time.Millisecond})
+	c := New[int](Options[int]{MaxEntries: 128, Shards: 8, TTL: 50 * time.Millisecond})
 	sources := []string{"s1", "s2", "s3"}
 	const (
 		workers = 12
@@ -231,7 +231,7 @@ func TestConcurrentHammer(t *testing.T) {
 // in-flight computation and an invalidation: a result computed from
 // pre-invalidation state must not be inserted after the invalidation.
 func TestInvalidationDuringComputeSuppressesPut(t *testing.T) {
-	c := New[int](Options{MaxEntries: 8})
+	c := New[int](Options[int]{MaxEntries: 8})
 	v, cached, err := c.Do(context.Background(), "k", func(context.Context) (int, []Dep, error) {
 		// The mart is refreshed while the query is still executing.
 		c.InvalidateTable("s1", "t")

@@ -1,0 +1,67 @@
+package sqlengine
+
+import "io"
+
+// RowIter is an incremental result stream: rows are produced one at a
+// time instead of materialized into a ResultSet, so a consumer that pages
+// or abandons a large scan never forces the producer to hold the whole
+// result in memory. Next returns io.EOF after the last row. Close releases
+// the producer's resources (backend cursors, pooled connections) and is
+// safe to call more than once; iterating after Close is undefined.
+//
+// Iterators are single-consumer: calls to Next and Close must not be made
+// concurrently.
+type RowIter interface {
+	// Columns returns the result's column names; stable across the
+	// iteration.
+	Columns() []string
+	// Next returns the next row, or (nil, io.EOF) when the stream is
+	// exhausted. Any other error is terminal: the iterator must not be
+	// advanced further (but must still be Closed).
+	Next() (Row, error)
+	// Close releases producer resources. It is idempotent.
+	Close() error
+}
+
+// sliceIter adapts a materialized ResultSet to RowIter.
+type sliceIter struct {
+	rs  *ResultSet
+	pos int
+}
+
+// SliceIter returns a RowIter over an already-materialized result set.
+// It lets fully-buffered paths (cache hits, integrated multi-source
+// results) serve the same streaming interface as true incremental
+// producers.
+func SliceIter(rs *ResultSet) RowIter { return &sliceIter{rs: rs} }
+
+func (it *sliceIter) Columns() []string { return it.rs.Columns }
+
+func (it *sliceIter) Next() (Row, error) {
+	if it.pos >= len(it.rs.Rows) {
+		return nil, io.EOF
+	}
+	row := it.rs.Rows[it.pos]
+	it.pos++
+	return row, nil
+}
+
+func (it *sliceIter) Close() error { return nil }
+
+// Drain consumes an iterator to completion into a ResultSet and closes
+// it. On error the iterator is still closed and the partial result is
+// discarded.
+func Drain(it RowIter) (*ResultSet, error) {
+	defer it.Close()
+	rs := &ResultSet{Columns: it.Columns()}
+	for {
+		row, err := it.Next()
+		if err == io.EOF {
+			return rs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+}

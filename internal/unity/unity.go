@@ -19,6 +19,7 @@ import (
 	"context"
 	"database/sql"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -850,6 +851,43 @@ func (f *Federation) ExecuteContext(ctx context.Context, plan *Plan, params ...s
 	return rs, nil
 }
 
+// ExecuteStreamContext runs a previously produced plan as an incremental
+// row stream. Pushdown plans — the shape of the paper's large scans —
+// stream straight off the chosen member database: the federation never
+// materializes the result, so a scan bigger than server memory can be
+// paged by the consumer, and cancelling ctx (or closing the iterator)
+// stops the backend query mid-scan. Decomposed plans must integrate their
+// partial results on the scratch engine, so they execute materialized and
+// the integrated rows are streamed from memory.
+func (f *Federation) ExecuteStreamContext(ctx context.Context, plan *Plan, params ...sqlengine.Value) (sqlengine.RowIter, error) {
+	if plan.Pushdown {
+		f.queries.Add(1)
+		f.pushdowns.Add(1)
+		f.subqueries.Add(1)
+		return f.runOnSourceStreamCtx(ctx, plan.pushSource, plan.Subs[0].SQL, params)
+	}
+	rs, err := f.ExecuteContext(ctx, plan, params...)
+	if err != nil {
+		return nil, err
+	}
+	return sqlengine.SliceIter(rs), nil
+}
+
+// QueryStreamContext plans a federated query and executes it as a stream
+// (see ExecuteStreamContext). The plan is returned alongside the iterator
+// so callers can inspect routing and record cache dependencies.
+func (f *Federation) QueryStreamContext(ctx context.Context, sqlText string, params ...sqlengine.Value) (sqlengine.RowIter, *Plan, error) {
+	plan, err := f.PlanQuery(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := f.ExecuteStreamContext(ctx, plan, params...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, plan, nil
+}
+
 func kindFromName(name string) sqlengine.Kind {
 	switch strings.ToUpper(name) {
 	case "INTEGER":
@@ -872,8 +910,24 @@ func (f *Federation) runOnSource(source, sqlText string, params []sqlengine.Valu
 	return f.runOnSourceCtx(context.Background(), source, sqlText, params)
 }
 
-// runOnSourceCtx is runOnSource under a cancellable context.
+// runOnSourceCtx is runOnSource under a cancellable context. It drains the
+// incremental producer, so callers that need the whole result pay the
+// materialization; streaming callers use runOnSourceStreamCtx directly.
 func (f *Federation) runOnSourceCtx(ctx context.Context, source, sqlText string, params []sqlengine.Value) (*sqlengine.ResultSet, error) {
+	it, err := f.runOnSourceStreamCtx(ctx, source, sqlText, params)
+	if err != nil {
+		return nil, err
+	}
+	return sqlengine.Drain(it)
+}
+
+// runOnSourceStreamCtx executes SQL on one member database and returns an
+// incremental row iterator instead of a materialized result: rows are
+// pulled from the backend one at a time as the consumer calls Next, so the
+// federation never buffers more than the consumer asked for. The source's
+// in-flight counter (the load-distribution signal) stays raised until the
+// iterator is closed, and closing it releases the backend cursor.
+func (f *Federation) runOnSourceStreamCtx(ctx context.Context, source, sqlText string, params []sqlengine.Value) (sqlengine.RowIter, error) {
 	f.mu.RLock()
 	s, ok := f.sources[source]
 	f.mu.RUnlock()
@@ -881,46 +935,84 @@ func (f *Federation) runOnSourceCtx(ctx context.Context, source, sqlText string,
 		return nil, fmt.Errorf("unity: no source %q", source)
 	}
 	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
 	args := make([]interface{}, len(params))
 	for i, p := range params {
 		args[i] = p
 	}
 	rows, err := s.db.QueryContext(ctx, sqlText, args...)
 	if err != nil {
+		s.inflight.Add(-1)
 		return nil, fmt.Errorf("unity: source %q: %w", source, err)
 	}
-	defer rows.Close()
-	return scanAll(rows)
+	it, err := scanRows(rows, source, func() { s.inflight.Add(-1) })
+	if err != nil {
+		return nil, fmt.Errorf("unity: source %q: %w", source, err)
+	}
+	return it, nil
 }
 
-// scanAll materializes a *sql.Rows into an engine ResultSet.
-func scanAll(rows *sql.Rows) (*sqlengine.ResultSet, error) {
+// sqlRowsIter streams a *sql.Rows as engine rows.
+type sqlRowsIter struct {
+	rows    *sql.Rows
+	cols    []string
+	source  string
+	onClose func()
+	closed  bool
+}
+
+// scanRows wraps a live *sql.Rows in a RowIter. onClose runs exactly once
+// when the iterator is closed (directly or via an error path here). On
+// error the rows are closed and onClose has already run.
+func scanRows(rows *sql.Rows, source string, onClose func()) (sqlengine.RowIter, error) {
 	cols, err := rows.Columns()
 	if err != nil {
+		rows.Close()
+		if onClose != nil {
+			onClose()
+		}
 		return nil, err
 	}
-	rs := &sqlengine.ResultSet{Columns: cols}
-	for rows.Next() {
-		raw := make([]interface{}, len(cols))
-		ptrs := make([]interface{}, len(cols))
-		for i := range raw {
-			ptrs[i] = &raw[i]
+	return &sqlRowsIter{rows: rows, cols: cols, source: source, onClose: onClose}, nil
+}
+
+func (it *sqlRowsIter) Columns() []string { return it.cols }
+
+func (it *sqlRowsIter) Next() (sqlengine.Row, error) {
+	if !it.rows.Next() {
+		if err := it.rows.Err(); err != nil {
+			return nil, fmt.Errorf("unity: source %q: %w", it.source, err)
 		}
-		if err := rows.Scan(ptrs...); err != nil {
-			return nil, err
-		}
-		row := make(sqlengine.Row, len(cols))
-		for i, x := range raw {
-			v, err := ifaceToValue(x)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		rs.Rows = append(rs.Rows, row)
+		return nil, io.EOF
 	}
-	return rs, rows.Err()
+	raw := make([]interface{}, len(it.cols))
+	ptrs := make([]interface{}, len(it.cols))
+	for i := range raw {
+		ptrs[i] = &raw[i]
+	}
+	if err := it.rows.Scan(ptrs...); err != nil {
+		return nil, fmt.Errorf("unity: source %q: %w", it.source, err)
+	}
+	row := make(sqlengine.Row, len(it.cols))
+	for i, x := range raw {
+		v, err := ifaceToValue(x)
+		if err != nil {
+			return nil, fmt.Errorf("unity: source %q: %w", it.source, err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func (it *sqlRowsIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	err := it.rows.Close()
+	if it.onClose != nil {
+		it.onClose()
+	}
+	return err
 }
 
 func ifaceToValue(x interface{}) (sqlengine.Value, error) {

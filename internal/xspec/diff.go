@@ -1,0 +1,88 @@
+package xspec
+
+import "strings"
+
+// TableDiff reports what changed between two generations of a database's
+// lower-level spec, at table granularity. The schema-change tracker uses
+// it to evict only the cache entries that read the changed tables instead
+// of cold-starting every entry of the source.
+type TableDiff struct {
+	// Tables are the logical names of tables that were added, removed, or
+	// whose spec (columns, keys, view-ness, row count) changed.
+	Tables []string
+	// RelationshipsChanged reports a change in the inferred relationship
+	// set. Relationships steer cross-table join planning, so a change can
+	// affect queries over tables whose own specs are untouched; callers
+	// should fall back to whole-source invalidation when set.
+	RelationshipsChanged bool
+}
+
+// logicalName returns a table's logical name (falling back to the
+// physical one), lowercased — the form the data dictionary and the cache
+// dependency fingerprints use.
+func logicalName(t TableSpec) string {
+	n := t.Logical
+	if n == "" {
+		n = t.Name
+	}
+	return strings.ToLower(n)
+}
+
+// tableEqual compares two table specs field by field.
+func tableEqual(a, b TableSpec) bool {
+	if a.Name != b.Name || a.Logical != b.Logical || a.View != b.View || a.Rows != b.Rows {
+		return false
+	}
+	if len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffSpecs compares two generations of a lower spec and returns the
+// table-granular change set. Both arguments must describe the same
+// database; a nil old spec marks every table of the new spec changed.
+func DiffSpecs(old, new *LowerSpec) TableDiff {
+	var d TableDiff
+	if old == nil {
+		for _, t := range new.Tables {
+			d.Tables = append(d.Tables, logicalName(t))
+		}
+		d.RelationshipsChanged = len(new.Relationships) > 0
+		return d
+	}
+	oldByName := make(map[string]TableSpec, len(old.Tables))
+	for _, t := range old.Tables {
+		oldByName[logicalName(t)] = t
+	}
+	seen := make(map[string]bool, len(new.Tables))
+	for _, t := range new.Tables {
+		name := logicalName(t)
+		seen[name] = true
+		prev, ok := oldByName[name]
+		if !ok || !tableEqual(prev, t) {
+			d.Tables = append(d.Tables, name)
+		}
+	}
+	for name := range oldByName {
+		if !seen[name] {
+			d.Tables = append(d.Tables, name)
+		}
+	}
+	if len(old.Relationships) != len(new.Relationships) {
+		d.RelationshipsChanged = true
+	} else {
+		for i := range old.Relationships {
+			if old.Relationships[i] != new.Relationships[i] {
+				d.RelationshipsChanged = true
+				break
+			}
+		}
+	}
+	return d
+}
