@@ -5,6 +5,7 @@ package gridrdb
 // byte), and the semantic matcher extension.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -16,10 +17,10 @@ import (
 	"gridrdb/internal/xspec"
 )
 
-// BenchmarkXMLRPCResultCodec measures encoding+decoding a 1000-row result
-// through the Clarens value family — the dominant per-row cost of the
-// remote path in Table 1 / Figure 6.
-func BenchmarkXMLRPCResultCodec(b *testing.B) {
+// benchResultSet builds the 1000-row result shape shared by the wire
+// codec benchmarks — the dominant per-row cost of the remote path in
+// Table 1 / Figure 6.
+func benchResultSet() *sqlengine.ResultSet {
 	rs := &sqlengine.ResultSet{Columns: []string{"event_id", "run", "e_tot"}}
 	for i := 0; i < 1000; i++ {
 		rs.Rows = append(rs.Rows, sqlengine.Row{
@@ -27,13 +28,22 @@ func BenchmarkXMLRPCResultCodec(b *testing.B) {
 			sqlengine.NewFloat(float64(i) / 7),
 		})
 	}
+	return rs
+}
+
+// BenchmarkXMLRPCResultCodec measures the legacy boxed path: EncodeResult
+// interface boxing, tree parse, re-boxing decode. It is the baseline the
+// zero-boxing benchmarks below are read against.
+func BenchmarkXMLRPCResultCodec(b *testing.B) {
+	rs := benchResultSet()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		payload, err := clarens.MarshalResponse(dataaccess.EncodeResult(rs))
 		if err != nil {
 			b.Fatal(err)
 		}
-		v, err := clarens.UnmarshalResponse(payload)
+		v, err := clarens.UnmarshalResponseTree(payload)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -48,9 +58,56 @@ func BenchmarkXMLRPCResultCodec(b *testing.B) {
 	}
 }
 
+// BenchmarkWireCodecXML measures the zero-boxing XML path: cell-direct
+// encoding into a reused buffer and streaming token decode straight into
+// engine rows (same document bytes as the boxed baseline).
+func BenchmarkWireCodecXML(b *testing.B) {
+	rs := benchResultSet()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := clarens.MarshalResponseTo(&buf, dataaccess.WireResult(rs)); err != nil {
+			b.Fatal(err)
+		}
+		res, err := clarens.DecodeResponse(bytes.NewReader(buf.Bytes()), func(d *clarens.Decoder) (interface{}, error) {
+			return dataaccess.DecodeResultFrom(d)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if back := res.(*sqlengine.ResultSet); len(back.Rows) != 1000 {
+			b.Fatal("row loss")
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// BenchmarkWireCodecBinary measures the negotiated binary row framing
+// (the server↔server fast path).
+func BenchmarkWireCodecBinary(b *testing.B) {
+	rs := benchResultSet()
+	var frame []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame = dataaccess.AppendRowsBinary(frame[:0], rs.Rows)
+		back, err := dataaccess.DecodeRowsBinary(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(back) != 1000 {
+			b.Fatal("row loss")
+		}
+		b.SetBytes(int64(len(frame)))
+	}
+}
+
 // BenchmarkNtupleGeneration measures the workload generator itself.
 func BenchmarkNtupleGeneration(b *testing.B) {
 	cfg := ntuple.Config{Name: "b", NVar: 200, NEvents: 1000, Runs: 8, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		events := ntuple.NewGenerator(cfg).Events()
@@ -79,6 +136,7 @@ func BenchmarkSemanticMatch(b *testing.B) {
 	}
 	left := mkSpec("a", "")
 	right := mkSpec("b", "tbl_")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := semantic.MatchSpecs(left, right, semantic.DefaultOptions())
@@ -97,6 +155,7 @@ func BenchmarkXSpecGenerate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		spec, err := xspec.Generate("bx", "mysql", e)
@@ -116,6 +175,7 @@ func BenchmarkXSpecGenerate(b *testing.B) {
 func BenchmarkWireRoundTrip(b *testing.B) {
 	d := benchDeployment(b)
 	fed := d.Serv1.Federation()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rs, err := fed.QuerySource("d1", "SELECT 1")

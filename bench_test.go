@@ -27,6 +27,7 @@ func benchStage1(b *testing.B, nev int, staging bool) {
 	if _, err := ntuple.NewGenerator(cfg).PopulateNormalized(src); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -77,6 +78,7 @@ func BenchmarkFig5Materialize(b *testing.B) {
 			if err := warehouse.CreateViews(wh, views); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				mart := sqlengine.NewEngine("bmart5", sqlengine.DialectMySQL)
@@ -119,6 +121,7 @@ func BenchmarkTable1QueryResponse(b *testing.B) {
 	for qi, q := range experiments.Table1Queries() {
 		b.Run(names[qi], func(b *testing.B) {
 			client := d.Client()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := client.Call("dataaccess.query", q); err != nil {
@@ -136,6 +139,7 @@ func BenchmarkFig6RowSweep(b *testing.B) {
 		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
 			client := d.Client()
 			q := fmt.Sprintf("SELECT event_id, run, e_tot FROM ev1 LIMIT %d", n)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := client.Call("dataaccess.query", q)
@@ -175,6 +179,7 @@ func BenchmarkAblationParallel(b *testing.B) {
 			oldPar, oldWidth := fed.Parallel, fed.MaxParallel
 			fed.Parallel, fed.MaxParallel = par, width
 			defer func() { fed.Parallel, fed.MaxParallel = oldPar, oldWidth }()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := d.Serv1.Query(q); err != nil {
@@ -230,6 +235,7 @@ func BenchmarkCacheFederated(b *testing.B) {
 		if _, err := d.Serv1.Query(q); err != nil { // prime
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := d.Serv1.Query(q); err != nil {
@@ -243,6 +249,7 @@ func BenchmarkCacheFederated(b *testing.B) {
 	})
 	b.Run("uncached-baseline", func(b *testing.B) {
 		base := benchDeployment(b) // cache-disabled twin
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := base.Serv1.Query(q); err != nil {
@@ -324,6 +331,7 @@ func BenchmarkEngineSelect(b *testing.B) {
 	if _, err := e.InsertRows("t", rows); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rs, err := e.Query("SELECT a, b FROM t WHERE a % 100 = 7 AND b > 1")

@@ -10,6 +10,7 @@
 //	gridql -server http://host:9410 -schema events
 //	gridql -server http://host:9410 -cache
 //	gridql -server http://host:9410 -cache-flush
+//	gridql -server http://host:9410 -cursors
 //
 // -stream pages the result through a server-side cursor (the
 // system.cursor.open/fetch/close methods) instead of one materialized
@@ -39,6 +40,7 @@ func main() {
 	schema := flag.String("schema", "", "print a table's schema and exit")
 	cache := flag.Bool("cache", false, "print the server's query-result cache stats and exit")
 	cacheFlush := flag.Bool("cache-flush", false, "drop the server's query-result cache and exit")
+	cursors := flag.Bool("cursors", false, "print the server's streaming-cursor stats and exit")
 	stream := flag.Bool("stream", false, "page the result through a server-side cursor instead of one materialized response")
 	fetchSize := flag.Int("fetch-size", 256, "rows per cursor fetch with -stream (server clamps to its maximum)")
 	timeout := flag.Duration("timeout", 0, "abandon the call after this long (0 = no deadline); the server cancels the query's backend work")
@@ -75,6 +77,16 @@ func main() {
 			log.Fatalf("gridql: %v", err)
 		}
 		fmt.Printf("dropped %v cached entries\n", res)
+	case *cursors:
+		res, err := c.CallContext(ctx, "system.cursorstats")
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		m := res.(map[string]interface{})
+		fmt.Println("streaming cursors")
+		for _, k := range []string{"open", "opened", "fetches", "rows", "reaped"} {
+			fmt.Printf("  %-10s %v\n", k, m[k])
+		}
 	case *tables:
 		res, err := c.CallContext(ctx, "dataaccess.tables")
 		if err != nil {

@@ -23,7 +23,13 @@
 //     inspect with the system.cachestats XML-RPC method);
 //   - rls: the replica location service;
 //   - clarens + dataaccess: the JClarens web-service interface and the
-//     routing/integration core.
+//     routing/integration core. Result marshalling runs on a zero-boxing
+//     wire path — rows encode cell-direct into pooled buffers and decode
+//     by a streaming token walk — and server↔server transfers (remote
+//     forwards, cursor relays) negotiate a compact binary row framing via
+//     system.capabilities, falling back to plain XML-RPC so simple
+//     third-party clients keep working (disable per server with
+//     ServerConfig.DisableBinaryRows).
 //
 // A Grid value assembles a full deployment: one RLS catalog plus any
 // number of JClarens server instances, each hosting data marts. See
@@ -141,6 +147,12 @@ type ServerConfig struct {
 	// to client-disconnect cancellation. Calls cut off by it fail with
 	// the FaultCancelled XML-RPC fault code.
 	RequestTimeout time.Duration
+	// DisableBinaryRows turns off the negotiated binary row framing for
+	// server↔server transfers in both directions: this server neither
+	// advertises the row codec nor probes peers before forwarding.
+	// Plain XML-RPC always remains accepted, so the switch only trades
+	// speed, never interoperability.
+	DisableBinaryRows bool
 }
 
 // Server is one running JClarens instance: the data access service plus
@@ -258,12 +270,13 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 	g.mu.Unlock()
 
 	dcfg := dataaccess.Config{
-		Name:          cfg.Name,
-		Profile:       cfg.Profile,
-		CacheSize:     cfg.CacheSize,
-		CacheMaxBytes: cfg.CacheMaxBytes,
-		CacheTTL:      cfg.CacheTTL,
-		CursorTTL:     cfg.CursorTTL,
+		Name:           cfg.Name,
+		Profile:        cfg.Profile,
+		CacheSize:      cfg.CacheSize,
+		CacheMaxBytes:  cfg.CacheMaxBytes,
+		CacheTTL:       cfg.CacheTTL,
+		CursorTTL:      cfg.CursorTTL,
+		DisableBinRows: cfg.DisableBinaryRows,
 	}
 	if rlsURL != "" {
 		c := rls.NewClient(rlsURL)

@@ -7,9 +7,12 @@ import (
 	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -163,15 +166,19 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r.Body)
+	// The call document is parsed straight off the request body by the
+	// streaming decoder — no intermediate []byte, and a body over the size
+	// cap faults distinctly instead of surfacing as a truncation parse
+	// error.
+	lr := newLimitReader(r.Body)
+	method, args, err := unmarshalCallStream(lr)
 	r.Body.Close()
 	if err != nil {
-		s.writeFault(w, &Fault{Code: FaultParse, Message: err.Error()})
-		return
-	}
-	method, args, err := UnmarshalCall(body)
-	if err != nil {
-		s.writeFault(w, &Fault{Code: FaultParse, Message: err.Error()})
+		f := &Fault{Code: FaultParse, Message: err.Error()}
+		if errors.Is(err, ErrTooLarge) {
+			f.Message = fmt.Sprintf("request body too large (limit %d bytes)", maxBody)
+		}
+		s.writeFault(w, f)
 		return
 	}
 
@@ -213,13 +220,100 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 		s.writeFault(w, FaultFor(err))
 		return
 	}
-	resp, err := MarshalResponse(result)
-	if err != nil {
-		s.writeFault(w, &Fault{Code: FaultApplication, Message: err.Error()})
+	s.writeResult(w, result)
+}
+
+// responseFlushThreshold is how much of a response the server buffers
+// before it starts streaming to the client: small responses (the vast
+// majority) stay fully buffered so an encode error can still become a
+// clean fault and Content-Length can be set; larger documents stream with
+// bounded memory instead of materializing.
+const responseFlushThreshold = 256 << 10
+
+// writeResult renders the method result straight to the response. The
+// document is assembled in a pooled buffer (zero steady-state allocation)
+// and row-aware payloads encode themselves cell-direct via ValueMarshaler.
+func (s *Server) writeResult(w http.ResponseWriter, result interface{}) {
+	buf := getBuf()
+	defer putBuf(buf)
+	sw := &streamWriter{dst: w, buf: buf, threshold: responseFlushThreshold}
+	if err := MarshalResponseTo(sw, result); err != nil {
+		if !sw.started {
+			s.writeFault(w, &Fault{Code: FaultApplication, Message: err.Error()})
+		}
+		// Once bytes have been streamed a clean fault is impossible; the
+		// truncated document surfaces as a parse error client-side.
 		return
 	}
-	w.Header().Set("Content-Type", "text/xml")
-	w.Write(resp)
+	sw.finish()
+}
+
+// streamWriter buffers a response up to a threshold, then streams: the
+// encoder writes tokens into the pooled buffer, and only a document that
+// outgrows the threshold starts flowing to the client before it is
+// complete.
+type streamWriter struct {
+	dst       http.ResponseWriter
+	buf       *bytes.Buffer
+	threshold int
+	started   bool
+	err       error
+}
+
+func (sw *streamWriter) Write(p []byte) (int, error) {
+	if sw.err != nil { // client gone: discard, don't re-buffer the rest
+		return len(p), nil
+	}
+	n, _ := sw.buf.Write(p)
+	sw.maybeFlush()
+	return n, nil
+}
+
+func (sw *streamWriter) WriteString(p string) (int, error) {
+	if sw.err != nil {
+		return len(p), nil
+	}
+	n, _ := sw.buf.WriteString(p)
+	sw.maybeFlush()
+	return n, nil
+}
+
+func (sw *streamWriter) WriteByte(b byte) error {
+	if sw.err != nil {
+		return nil
+	}
+	sw.buf.WriteByte(b)
+	sw.maybeFlush()
+	return nil
+}
+
+func (sw *streamWriter) maybeFlush() {
+	if sw.buf.Len() < sw.threshold {
+		return
+	}
+	if !sw.started {
+		sw.started = true
+		sw.dst.Header().Set("Content-Type", "text/xml")
+	}
+	_, sw.err = sw.buf.WriteTo(sw.dst)
+	if sw.err != nil {
+		// The response is undeliverable; keeping the tail would rebuild
+		// the unbounded buffer the streaming threshold exists to avoid.
+		sw.buf.Reset()
+	}
+}
+
+// finish writes whatever remains; fully buffered responses also get a
+// Content-Length.
+func (sw *streamWriter) finish() {
+	if sw.err != nil {
+		return
+	}
+	if !sw.started {
+		sw.dst.Header().Set("Content-Type", "text/xml")
+		sw.dst.Header().Set("Content-Length", strconv.Itoa(sw.buf.Len()))
+	}
+	sw.buf.WriteTo(sw.dst)
 }
 
 func (s *Server) handleLogin(w http.ResponseWriter, args []interface{}) {
@@ -247,7 +341,6 @@ func (s *Server) handleLogin(w http.ResponseWriter, args []interface{}) {
 		return
 	}
 	token := hex.EncodeToString(buf)
-	resp, _ := MarshalResponse(token)
 	s.mu.Lock()
 	s.sessions[token] = sessionInfo{user: user, expires: s.now().Add(sessionTTL)}
 	// Sweep on login (rate-limited): under login churn the map stays
@@ -256,8 +349,7 @@ func (s *Server) handleLogin(w http.ResponseWriter, args []interface{}) {
 		s.sweepSessionsLocked()
 	}
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/xml")
-	w.Write(resp)
+	s.writeResult(w, token)
 }
 
 // sweepSessionsLocked drops every expired session. s.mu must be held.
@@ -377,6 +469,23 @@ func (c *Client) Call(method string, args ...interface{}) (interface{}, error) {
 // letting its deadline expire) aborts the HTTP request, which the server
 // observes as a client disconnect and propagates to the running method.
 func (c *Client) CallContext(ctx context.Context, method string, args ...interface{}) (interface{}, error) {
+	return c.CallDecodeContext(ctx, method, nil, args...)
+}
+
+// CallDecodeContext is CallContext with a caller-supplied result decoder:
+// when decode is non-nil it receives the streaming Decoder positioned at
+// the response's result value and must consume exactly one value. This is
+// the zero-boxing read path — dataaccess decodes row payloads straight
+// into engine rows with it — while nil selects the generic value family.
+// The request document is assembled in a pooled buffer and the response is
+// decoded directly off the wire, so neither side of the call materializes
+// an intermediate copy.
+func (c *Client) CallDecodeContext(ctx context.Context, method string, decode func(*Decoder) (interface{}, error), args ...interface{}) (interface{}, error) {
+	// The document is assembled in a pooled buffer inside MarshalCall and
+	// copied out: the HTTP transport may keep reading the request body
+	// from a background goroutine even after Do returns (cancellation,
+	// early server response), so the bytes handed to it must be owned by
+	// this call, not recycled through the pool.
 	body, err := MarshalCall(method, args)
 	if err != nil {
 		return nil, err
@@ -396,12 +505,21 @@ func (c *Client) CallContext(ctx context.Context, method string, args ...interfa
 		return nil, fmt.Errorf("clarens: call %s: %w", method, err)
 	}
 	defer resp.Body.Close()
-	data, err := readBody(resp.Body)
-	if err != nil {
-		return nil, err
+	lr := newLimitReader(resp.Body)
+	v, derr := decodeResponseStream(lr, decode)
+	if derr == nil {
+		// Drain the (normally tiny) remainder so the connection can be
+		// reused and the bandwidth accounting below sees the whole body.
+		// After a decode error the rest is worthless — closing the body
+		// discards the connection instead of pulling megabytes of a
+		// broken document off the wire first.
+		io.Copy(io.Discard, lr)
 	}
 	if c.Profile != nil {
-		c.clock().RoundTrip(c.Profile, int64(len(body)+len(data)))
+		c.clock().RoundTrip(c.Profile, int64(len(body))+lr.read)
 	}
-	return UnmarshalResponse(data)
+	if derr != nil && errors.Is(derr, ErrTooLarge) {
+		return nil, fmt.Errorf("clarens: call %s: response body too large (limit %d bytes)", method, maxBody)
+	}
+	return v, derr
 }

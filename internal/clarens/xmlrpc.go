@@ -10,16 +10,23 @@
 // disconnect, optionally bounded by Server.SetRequestTimeout), the
 // Client's CallContext threads a caller context into the request, and
 // context errors surface as the distinct FaultCancelled fault code.
+//
+// The wire codec is the streaming, zero-boxing pair in encode.go /
+// decode.go: responses are rendered straight into pooled buffers (payloads
+// implementing ValueMarshaler encode cell-direct), and documents are
+// decoded by a single xml.Decoder token walk instead of an intermediate
+// generic tree. This file keeps the fault model and the legacy tree codec
+// (UnmarshalCallTree / UnmarshalResponseTree), retained as the reference
+// implementation for differential fuzzing and for the benchrepro wire
+// experiment's before/after comparison.
 package clarens
 
 import (
-	"bytes"
 	"context"
 	"encoding/base64"
 	"encoding/xml"
 	"errors"
 	"fmt"
-	"io"
 	"strconv"
 	"strings"
 	"time"
@@ -78,118 +85,7 @@ const (
 	FaultCancelled = 104
 )
 
-// ---- encoding ----
-
-// Values passed through XML-RPC are a closed family: nil, bool, int64,
-// float64, string, time.Time, []byte, []interface{} and
-// map[string]interface{}.
-
-func encodeValue(sb *bytes.Buffer, v interface{}) error {
-	sb.WriteString("<value>")
-	switch x := v.(type) {
-	case nil:
-		sb.WriteString("<nil/>")
-	case bool:
-		if x {
-			sb.WriteString("<boolean>1</boolean>")
-		} else {
-			sb.WriteString("<boolean>0</boolean>")
-		}
-	case int:
-		fmt.Fprintf(sb, "<i8>%d</i8>", x)
-	case int64:
-		fmt.Fprintf(sb, "<i8>%d</i8>", x)
-	case float64:
-		fmt.Fprintf(sb, "<double>%s</double>", strconv.FormatFloat(x, 'g', -1, 64))
-	case string:
-		sb.WriteString("<string>")
-		xml.EscapeText(sb, []byte(x))
-		sb.WriteString("</string>")
-	case time.Time:
-		fmt.Fprintf(sb, "<dateTime.iso8601>%s</dateTime.iso8601>", x.UTC().Format("20060102T15:04:05"))
-	case []byte:
-		sb.WriteString("<base64>")
-		sb.WriteString(base64.StdEncoding.EncodeToString(x))
-		sb.WriteString("</base64>")
-	case []interface{}:
-		sb.WriteString("<array><data>")
-		for _, e := range x {
-			if err := encodeValue(sb, e); err != nil {
-				return err
-			}
-		}
-		sb.WriteString("</data></array>")
-	case []string:
-		sb.WriteString("<array><data>")
-		for _, e := range x {
-			if err := encodeValue(sb, e); err != nil {
-				return err
-			}
-		}
-		sb.WriteString("</data></array>")
-	case map[string]interface{}:
-		sb.WriteString("<struct>")
-		for k, e := range x {
-			sb.WriteString("<member><name>")
-			xml.EscapeText(sb, []byte(k))
-			sb.WriteString("</name>")
-			if err := encodeValue(sb, e); err != nil {
-				return err
-			}
-			sb.WriteString("</member>")
-		}
-		sb.WriteString("</struct>")
-	default:
-		return fmt.Errorf("clarens: cannot encode %T in XML-RPC", v)
-	}
-	sb.WriteString("</value>")
-	return nil
-}
-
-// MarshalCall renders a methodCall document.
-func MarshalCall(method string, args []interface{}) ([]byte, error) {
-	var sb bytes.Buffer
-	sb.WriteString(xml.Header)
-	sb.WriteString("<methodCall><methodName>")
-	xml.EscapeText(&sb, []byte(method))
-	sb.WriteString("</methodName><params>")
-	for _, a := range args {
-		sb.WriteString("<param>")
-		if err := encodeValue(&sb, a); err != nil {
-			return nil, err
-		}
-		sb.WriteString("</param>")
-	}
-	sb.WriteString("</params></methodCall>")
-	return sb.Bytes(), nil
-}
-
-// MarshalResponse renders a methodResponse document for a result value.
-func MarshalResponse(result interface{}) ([]byte, error) {
-	var sb bytes.Buffer
-	sb.WriteString(xml.Header)
-	sb.WriteString("<methodResponse><params><param>")
-	if err := encodeValue(&sb, result); err != nil {
-		return nil, err
-	}
-	sb.WriteString("</param></params></methodResponse>")
-	return sb.Bytes(), nil
-}
-
-// MarshalFault renders a methodResponse fault document.
-func MarshalFault(f *Fault) []byte {
-	var sb bytes.Buffer
-	sb.WriteString(xml.Header)
-	sb.WriteString("<methodResponse><fault>")
-	encodeValue(&sb, map[string]interface{}{
-		"faultCode":   int64(f.Code),
-		"faultString": f.Message,
-	})
-	sb.WriteString("</fault></methodResponse>")
-	return sb.Bytes()
-}
-
-// ---- decoding ----
+// ---- legacy tree decoder ----
 
 // xNode mirrors the generic XML tree of an XML-RPC document.
 type xNode struct {
@@ -207,7 +103,7 @@ func (n *xNode) child(name string) *xNode {
 	return nil
 }
 
-func decodeValue(n *xNode) (interface{}, error) {
+func decodeValueTree(n *xNode) (interface{}, error) {
 	if len(n.Children) == 0 {
 		// Bare text inside <value> is a string per the XML-RPC spec.
 		return n.Content, nil
@@ -254,7 +150,7 @@ func decodeValue(n *xNode) (interface{}, error) {
 			if data.Children[i].XMLName.Local != "value" {
 				continue
 			}
-			v, err := decodeValue(&data.Children[i])
+			v, err := decodeValueTree(&data.Children[i])
 			if err != nil {
 				return nil, err
 			}
@@ -273,7 +169,7 @@ func decodeValue(n *xNode) (interface{}, error) {
 			if nameNode == nil || valNode == nil {
 				return nil, fmt.Errorf("clarens: malformed struct member")
 			}
-			v, err := decodeValue(valNode)
+			v, err := decodeValueTree(valNode)
 			if err != nil {
 				return nil, err
 			}
@@ -284,8 +180,11 @@ func decodeValue(n *xNode) (interface{}, error) {
 	return nil, fmt.Errorf("clarens: unknown XML-RPC type <%s>", t.XMLName.Local)
 }
 
-// UnmarshalCall parses a methodCall document into (method, args).
-func UnmarshalCall(data []byte) (string, []interface{}, error) {
+// UnmarshalCallTree parses a methodCall document through the legacy
+// generic-tree decoder. Retained as the reference implementation the
+// streaming decoder is fuzzed against (and as the "before" side of the
+// wire benchmark); new code uses UnmarshalCall.
+func UnmarshalCallTree(data []byte) (string, []interface{}, error) {
 	var root xNode
 	if err := xml.Unmarshal(data, &root); err != nil {
 		return "", nil, fmt.Errorf("clarens: parse call: %w", err)
@@ -309,7 +208,7 @@ func UnmarshalCall(data []byte) (string, []interface{}, error) {
 			if valNode == nil {
 				return "", nil, fmt.Errorf("clarens: param without value")
 			}
-			v, err := decodeValue(valNode)
+			v, err := decodeValueTree(valNode)
 			if err != nil {
 				return "", nil, err
 			}
@@ -319,9 +218,10 @@ func UnmarshalCall(data []byte) (string, []interface{}, error) {
 	return method, args, nil
 }
 
-// UnmarshalResponse parses a methodResponse document, returning the result
-// value or a *Fault error.
-func UnmarshalResponse(data []byte) (interface{}, error) {
+// UnmarshalResponseTree parses a methodResponse document through the
+// legacy generic-tree decoder (see UnmarshalCallTree); new code uses
+// UnmarshalResponse.
+func UnmarshalResponseTree(data []byte) (interface{}, error) {
 	var root xNode
 	if err := xml.Unmarshal(data, &root); err != nil {
 		return nil, fmt.Errorf("clarens: parse response: %w", err)
@@ -334,19 +234,11 @@ func UnmarshalResponse(data []byte) (interface{}, error) {
 		if valNode == nil {
 			return nil, &Fault{Code: FaultParse, Message: "malformed fault"}
 		}
-		v, err := decodeValue(valNode)
+		v, err := decodeValueTree(valNode)
 		if err != nil {
 			return nil, err
 		}
-		m, _ := v.(map[string]interface{})
-		fault := &Fault{Code: FaultApplication, Message: "unknown fault"}
-		if c, ok := m["faultCode"].(int64); ok {
-			fault.Code = int(c)
-		}
-		if s, ok := m["faultString"].(string); ok {
-			fault.Message = s
-		}
-		return nil, fault
+		return nil, faultFromValue(v)
 	}
 	params := root.child("params")
 	if params == nil {
@@ -361,12 +253,7 @@ func UnmarshalResponse(data []byte) (interface{}, error) {
 		if valNode == nil {
 			return nil, fmt.Errorf("clarens: param without value")
 		}
-		return decodeValue(valNode)
+		return decodeValueTree(valNode)
 	}
 	return nil, nil
-}
-
-// readBody reads a bounded request/response body.
-func readBody(r io.Reader) ([]byte, error) {
-	return io.ReadAll(io.LimitReader(r, 64<<20))
 }

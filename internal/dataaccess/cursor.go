@@ -76,7 +76,10 @@ type cursorRegistry struct {
 	stop    chan struct{} // closed by closeAll
 	closed  bool
 
-	reaped atomic.Int64
+	reaped  atomic.Int64
+	opened  atomic.Int64
+	fetches atomic.Int64
+	rows    atomic.Int64
 }
 
 func newCursorRegistry(ttl time.Duration) *cursorRegistry {
@@ -141,6 +144,7 @@ func (s *Service) OpenCursor(ctx context.Context, sqlText string, params ...sqle
 	reg.entries[id] = cur
 	reg.startJanitorLocked()
 	reg.mu.Unlock()
+	reg.opened.Add(1)
 	info := &CursorInfo{ID: id, Columns: sr.Columns(), Route: sr.Route, Servers: sr.Servers}
 	if reg.ttl > 0 {
 		info.TTL = reg.ttl
@@ -200,6 +204,8 @@ func (s *Service) FetchCursor(id string, n int) ([]sqlengine.Row, bool, error) {
 	if reg.ttl > 0 {
 		cur.expires.Store(time.Now().Add(reg.ttl).UnixNano())
 	}
+	reg.fetches.Add(1)
+	reg.rows.Add(int64(len(rows)))
 	return rows, cur.done, nil
 }
 
@@ -238,6 +244,31 @@ func (s *Service) ReapCursorsNow() int {
 // over the service's lifetime (an abandoned-client health signal).
 func (s *Service) CursorsReaped() int64 {
 	return s.cursors.reaped.Load()
+}
+
+// CursorStats is the operational snapshot behind system.cursorstats.
+type CursorStats struct {
+	// Open counts currently registered cursors (exhausted-but-unclosed
+	// ones included).
+	Open int
+	// Opened / Fetches / RowsFetched are lifetime totals.
+	Opened      int64
+	Fetches     int64
+	RowsFetched int64
+	// Reaped counts cursors the idle-TTL janitor collected.
+	Reaped int64
+}
+
+// CursorStats snapshots the cursor subsystem's counters.
+func (s *Service) CursorStats() CursorStats {
+	r := s.cursors
+	return CursorStats{
+		Open:        s.CursorCount(),
+		Opened:      r.opened.Load(),
+		Fetches:     r.fetches.Load(),
+		RowsFetched: r.rows.Load(),
+		Reaped:      r.reaped.Load(),
+	}
 }
 
 func (r *cursorRegistry) remove(id string) {

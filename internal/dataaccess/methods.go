@@ -18,26 +18,42 @@ import (
 // server, forming the web-service interface of the paper:
 //
 //	dataaccess.query(sql)                     -> {columns, rows}
+//	dataaccess.queryb(sql)                    -> {columns, rowsb}   (binary row frame, negotiated)
 //	dataaccess.tables()                       -> [logical names]
 //	dataaccess.schema(table)                  -> {columns: [{name,kind,...}]}
 //	dataaccess.addDatabase(xspecURL, driver, url [, user, password])
 //	dataaccess.removeDatabase(name)
 //	dataaccess.sources()                      -> [source names]
+//	system.capabilities()                     -> {rowcodec, name}
 //	system.cachestats()                       -> {enabled, hits, misses, ...}
 //	system.cacheflush()                       -> entries dropped
+//	system.cursorstats()                      -> {open, opened, fetches, rows, reaped}
 //	system.cursor.open(sql [, params...])     -> {cursor, columns, route, servers, ttl_ms}
 //	system.cursor.fetch(cursor [, n])         -> {rows, done}
+//	system.cursor.fetchb(cursor [, n])        -> {rowsb, done}      (binary row frame, negotiated)
 //	system.cursor.close(cursor)               -> existed
+//
+// Result payloads are rendered by the zero-boxing wire codec: rows encode
+// cell-direct into the response stream (wirecodec.go). queryb / fetchb are
+// the server↔server fast path carrying rows as one binary base64 frame;
+// they are only registered when the row codec is enabled, and peers
+// discover them through system.capabilities — plain XML-RPC clients are
+// unaffected.
 func (s *Service) RegisterMethods(srv *clarens.Server) {
-	srv.Register("dataaccess.query", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+	queryArgs := func(method string, args []interface{}) (string, []sqlengine.Value, error) {
 		if len(args) < 1 {
-			return nil, fmt.Errorf("dataaccess.query requires (sql [, params...])")
+			return "", nil, fmt.Errorf("%s requires (sql [, params...])", method)
 		}
 		sqlText, ok := args[0].(string)
 		if !ok {
-			return nil, fmt.Errorf("dataaccess.query: sql must be a string")
+			return "", nil, fmt.Errorf("%s: sql must be a string", method)
 		}
 		params, err := xmlrpcParams(args[1:])
+		return sqlText, params, err
+	}
+
+	srv.Register("dataaccess.query", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		sqlText, params, err := queryArgs("dataaccess.query", args)
 		if err != nil {
 			return nil, err
 		}
@@ -45,11 +61,39 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		if err != nil {
 			return nil, err
 		}
-		res := EncodeResult(qr.ResultSet)
+		res := WireResult(qr.ResultSet)
 		res["route"] = string(qr.Route)
 		res["servers"] = int64(qr.Servers)
 		return res, nil
 	})
+
+	rowCodec := RowCodecVersion
+	if s.cfg.DisableBinRows {
+		rowCodec = 0
+	}
+	srv.Register("system.capabilities", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		return map[string]interface{}{
+			"rowcodec": int64(rowCodec),
+			"name":     s.cfg.Name,
+		}, nil
+	})
+
+	if !s.cfg.DisableBinRows {
+		srv.Register("dataaccess.queryb", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+			sqlText, params, err := queryArgs("dataaccess.queryb", args)
+			if err != nil {
+				return nil, err
+			}
+			qr, err := s.QueryContext(ctx, sqlText, params...)
+			if err != nil {
+				return nil, err
+			}
+			res := wireResultBinary(qr.ResultSet)
+			res["route"] = string(qr.Route)
+			res["servers"] = int64(qr.Servers)
+			return res, nil
+		})
+	}
 
 	srv.Register("dataaccess.tables", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
 		names := s.fed.Dictionary().LogicalTables()
@@ -146,6 +190,17 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		return int64(s.CacheFlush()), nil
 	})
 
+	srv.Register("system.cursorstats", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		st := s.CursorStats()
+		return map[string]interface{}{
+			"open":    int64(st.Open),
+			"opened":  st.Opened,
+			"fetches": st.Fetches,
+			"rows":    st.RowsFetched,
+			"reaped":  st.Reaped,
+		}, nil
+	})
+
 	// The cursor protocol pages a large scan across multiple calls with
 	// bounded server memory: open starts the streaming query and returns a
 	// cursor id, fetch returns chunks of at most fetchSize rows, close (or
@@ -181,28 +236,50 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		}, nil
 	})
 
-	srv.Register("system.cursor.fetch", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+	fetchArgs := func(method string, args []interface{}) (string, int, error) {
 		if len(args) < 1 || len(args) > 2 {
-			return nil, fmt.Errorf("system.cursor.fetch requires (cursor [, n])")
+			return "", 0, fmt.Errorf("%s requires (cursor [, n])", method)
 		}
 		id, ok := args[0].(string)
 		if !ok {
-			return nil, fmt.Errorf("system.cursor.fetch: cursor must be a string")
+			return "", 0, fmt.Errorf("%s: cursor must be a string", method)
 		}
 		n := 0
 		if len(args) == 2 {
 			nn, ok := args[1].(int64)
 			if !ok {
-				return nil, fmt.Errorf("system.cursor.fetch: n must be an int, got %T", args[1])
+				return "", 0, fmt.Errorf("%s: n must be an int, got %T", method, args[1])
 			}
 			n = int(nn)
+		}
+		return id, n, nil
+	}
+
+	srv.Register("system.cursor.fetch", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		id, n, err := fetchArgs("system.cursor.fetch", args)
+		if err != nil {
+			return nil, err
 		}
 		rows, done, err := s.FetchCursor(id, n)
 		if err != nil {
 			return nil, err
 		}
-		return EncodeChunk(rows, done), nil
+		return WireChunk(rows, done), nil
 	})
+
+	if !s.cfg.DisableBinRows {
+		srv.Register("system.cursor.fetchb", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+			id, n, err := fetchArgs("system.cursor.fetchb", args)
+			if err != nil {
+				return nil, err
+			}
+			rows, done, err := s.FetchCursor(id, n)
+			if err != nil {
+				return nil, err
+			}
+			return wireChunkBinary(rows, done), nil
+		})
+	}
 
 	srv.Register("system.cursor.close", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
 		if len(args) != 1 {

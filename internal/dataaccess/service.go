@@ -79,6 +79,12 @@ type Config struct {
 	// reaper cancels its query and releases its resources. 0 selects the
 	// default (2 minutes); < 0 disables reaping.
 	CursorTTL time.Duration
+	// DisableBinRows turns off the negotiated binary row framing in both
+	// directions: this server neither advertises the row codec (so peers
+	// fall back to plain XML when forwarding to it) nor probes peers
+	// before its own forwards. Plain XML-RPC is always accepted
+	// regardless, so third-party clients are unaffected either way.
+	DisableBinRows bool
 }
 
 // Route identifies which module answered a query (§4.5's two modules plus
@@ -101,6 +107,9 @@ type Stats struct {
 	Forwarded  atomic.Int64
 	Mixed      atomic.Int64
 	RLSLookups atomic.Int64
+	// BinForwards counts remote forwards that used the negotiated binary
+	// row framing (the rest fell back to plain XML-RPC).
+	BinForwards atomic.Int64
 }
 
 // Service is one data access service instance.
@@ -115,7 +124,7 @@ type Service struct {
 	cursors *cursorRegistry
 
 	mu      sync.Mutex
-	remotes map[string]*clarens.Client
+	remotes map[string]*remotePeer
 	// ralConns maps source name -> RAL connection string for POOL-
 	// supported sources.
 	ralConns map[string]string
@@ -129,7 +138,7 @@ func New(cfg Config) *Service {
 		cfg:      cfg,
 		fed:      mustEmptyFederation(),
 		ral:      poolral.New(),
-		remotes:  make(map[string]*clarens.Client),
+		remotes:  make(map[string]*remotePeer),
 		ralConns: make(map[string]string),
 		cursors:  newCursorRegistry(cfg.CursorTTL),
 	}
@@ -518,29 +527,117 @@ func loadScratch(scratch *sqlengine.Engine, t string, rs *sqlengine.ResultSet) e
 	return err
 }
 
+// remotePeer is one remembered remote JClarens instance plus the outcome
+// of the row-codec capability handshake against it.
+type remotePeer struct {
+	c *clarens.Client
+
+	mu sync.Mutex
+	// codec is the negotiation state: 0 = not probed yet (or the probe
+	// failed transiently and will be retried), 1 = peer speaks the binary
+	// row framing, -1 = plain XML only.
+	codec int8
+}
+
+// decodeForwardResult is the streaming result decoder forwards hand to
+// CallDecodeContext: rows land directly in engine values, whichever
+// framing the peer used.
+func decodeForwardResult(d *clarens.Decoder) (interface{}, error) {
+	return DecodeResultFrom(d)
+}
+
 // forward sends a query to a remote JClarens instance over XML-RPC.
-// Cancelling ctx aborts the HTTP request; the remote server sees the
-// disconnect and cancels its own backend work in turn.
+// Server↔server transfers use the negotiated binary row framing when the
+// peer advertises it (system.capabilities), transparently falling back to
+// plain XML-RPC otherwise; either way the response rows are decoded
+// streaming, straight into engine values. Cancelling ctx aborts the HTTP
+// request; the remote server sees the disconnect and cancels its own
+// backend work in turn.
 func (s *Service) forward(ctx context.Context, serverURL, sqlText string) (*sqlengine.ResultSet, error) {
-	c := s.remoteClient(serverURL)
-	res, err := c.CallContext(ctx, "dataaccess.query", sqlText)
+	p := s.remotePeer(serverURL)
+	if s.peerSpeaksBinary(ctx, p) {
+		res, err := p.c.CallDecodeContext(ctx, "dataaccess.queryb", decodeForwardResult, sqlText)
+		var f *clarens.Fault
+		switch {
+		case err == nil:
+			rs, ok := res.(*sqlengine.ResultSet)
+			if !ok {
+				// A methodResponse with no result value decodes to nil.
+				return nil, fmt.Errorf("dataaccess: forward to %s: empty response", serverURL)
+			}
+			s.stats.BinForwards.Add(1)
+			return rs, nil
+		case errors.As(err, &f) && f.Code == clarens.FaultNoMethod:
+			// The peer lost the method (restarted without the codec, or a
+			// stale capability answer): renegotiate as plain XML.
+			p.mu.Lock()
+			p.codec = -1
+			p.mu.Unlock()
+		default:
+			return nil, fmt.Errorf("dataaccess: forward to %s: %w", serverURL, err)
+		}
+	}
+	res, err := p.c.CallDecodeContext(ctx, "dataaccess.query", decodeForwardResult, sqlText)
 	if err != nil {
 		return nil, fmt.Errorf("dataaccess: forward to %s: %w", serverURL, err)
 	}
-	return DecodeResult(res)
+	rs, ok := res.(*sqlengine.ResultSet)
+	if !ok {
+		return nil, fmt.Errorf("dataaccess: forward to %s: empty response", serverURL)
+	}
+	return rs, nil
 }
 
-func (s *Service) remoteClient(serverURL string) *clarens.Client {
+// peerSpeaksBinary resolves (once per peer) whether the remote advertises
+// the binary row codec. A transient probe failure leaves the state
+// unresolved — the forward falls back to plain XML now and the next
+// forward probes again; only a definitive answer (a capability response,
+// or a server without the method) is cached.
+func (s *Service) peerSpeaksBinary(ctx context.Context, p *remotePeer) bool {
+	if s.cfg.DisableBinRows {
+		return false
+	}
+	p.mu.Lock()
+	state := p.codec
+	p.mu.Unlock()
+	if state != 0 {
+		return state == 1
+	}
+	res, err := p.c.CallContext(ctx, "system.capabilities")
+	next := int8(-1)
+	if err != nil {
+		var f *clarens.Fault
+		if !errors.As(err, &f) || f.Code != clarens.FaultNoMethod {
+			next = 0 // transport trouble: retry on a later forward
+		}
+	} else if m, ok := res.(map[string]interface{}); ok {
+		// Pin to the exactly-supported version: the responder frames rows
+		// at the version it advertises, so a future higher-version peer
+		// must be spoken to over plain XML rather than answered with
+		// frames this side cannot decode. (A later protocol revision can
+		// add a requested-version argument for graceful downgrade.)
+		if v, _ := m["rowcodec"].(int64); v == RowCodecVersion {
+			next = 1
+		}
+	}
+	p.mu.Lock()
+	p.codec = next
+	p.mu.Unlock()
+	return next == 1
+}
+
+func (s *Service) remotePeer(serverURL string) *remotePeer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if c, ok := s.remotes[serverURL]; ok {
-		return c
+	if p, ok := s.remotes[serverURL]; ok {
+		return p
 	}
 	c := clarens.NewClient(serverURL)
 	c.Profile = s.cfg.Profile
 	c.Clock = s.cfg.Clock
-	s.remotes[serverURL] = c
-	return c
+	p := &remotePeer{c: c}
+	s.remotes[serverURL] = p
+	return p
 }
 
 // ---- query result cache ----
@@ -629,8 +726,11 @@ func (s *Service) MartInvalidator(source string) func(table string) {
 
 // ---- XML-RPC result codec (shared with the Clarens method layer) ----
 
-// EncodeRows converts rows to the XML-RPC value family; it is the payload
-// codec shared by full results (EncodeResult) and cursor chunks.
+// EncodeRows converts rows to the XML-RPC value family. It is the boxed
+// reference codec: the serving wire path encodes rows cell-direct via
+// wireRows/binaryRows (see wirecodec.go), and this form remains for
+// in-process payload assembly, generic clients and as the benchmark
+// baseline the zero-boxing path is measured against.
 func EncodeRows(rows []sqlengine.Row) []interface{} {
 	out := make([]interface{}, len(rows))
 	for i, row := range rows {

@@ -1,0 +1,432 @@
+package dataaccess
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/rls"
+	"gridrdb/internal/sqlengine"
+)
+
+// allKindsRows exercises every sqlengine.Value kind, including edge
+// payloads (empty string/bytes, negative and extreme numbers, sub-second
+// timestamps).
+func allKindsRows() []sqlengine.Row {
+	return []sqlengine.Row{
+		{
+			sqlengine.Null(),
+			sqlengine.NewInt(0),
+			sqlengine.NewInt(-1),
+			sqlengine.NewInt(math.MaxInt64),
+			sqlengine.NewInt(math.MinInt64),
+		},
+		{
+			sqlengine.NewFloat(0),
+			sqlengine.NewFloat(-2.718281828),
+			sqlengine.NewFloat(math.MaxFloat64),
+			sqlengine.NewFloat(math.SmallestNonzeroFloat64),
+			sqlengine.NewFloat(math.Inf(-1)),
+		},
+		{
+			sqlengine.NewString(""),
+			sqlengine.NewString("plain"),
+			sqlengine.NewString("<&> \"esc\"\r\n\tütf✓"),
+			sqlengine.NewBool(true),
+			sqlengine.NewBool(false),
+		},
+		{
+			sqlengine.NewTime(time.Date(2005, 6, 15, 12, 30, 45, 123456789, time.UTC)),
+			sqlengine.NewTime(time.Unix(0, 0).UTC()),
+			sqlengine.NewBytes(nil),
+			sqlengine.NewBytes([]byte{0, 1, 2, 254, 255}),
+			sqlengine.Null(),
+		},
+		{}, // empty row
+	}
+}
+
+// TestBinaryRowsRoundTripAllKinds: the binary framing is lossless across
+// every value kind, including nanosecond time precision the XML dateTime
+// cannot carry.
+func TestBinaryRowsRoundTripAllKinds(t *testing.T) {
+	rows := allKindsRows()
+	frame := EncodeRowsBinary(rows)
+	back, err := DecodeRowsBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) {
+		t.Fatalf("rows = %d, want %d", len(back), len(rows))
+	}
+	for i := range rows {
+		if len(back[i]) != len(rows[i]) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(back[i]), len(rows[i]))
+		}
+		for j := range rows[i] {
+			want, got := rows[i][j], back[i][j]
+			if want.Kind != got.Kind {
+				t.Fatalf("row %d cell %d kind = %v, want %v", i, j, got.Kind, want.Kind)
+			}
+			if want.Kind == sqlengine.KindTime {
+				if !want.Time.Equal(got.Time) {
+					t.Fatalf("row %d cell %d time = %v, want %v", i, j, got.Time, want.Time)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(normBytes(want), normBytes(got)) {
+				t.Fatalf("row %d cell %d = %#v, want %#v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// normBytes maps nil and empty byte slices together (the frame cannot
+// distinguish them and SQL semantics do not either).
+func normBytes(v sqlengine.Value) sqlengine.Value {
+	if v.Kind == sqlengine.KindBytes && len(v.Bytes) == 0 {
+		v.Bytes = nil
+	}
+	return v
+}
+
+// TestBinaryRowsProperty: randomized round-trip over generated cells.
+func TestBinaryRowsProperty(t *testing.T) {
+	f := func(ints []int64, floats []float64, strs []string, blobs [][]byte, secs int64, nsec uint32) bool {
+		row := sqlengine.Row{}
+		for _, v := range ints {
+			row = append(row, sqlengine.NewInt(v))
+		}
+		for _, v := range floats {
+			if v != v {
+				continue // NaN != NaN; compared separately below
+			}
+			row = append(row, sqlengine.NewFloat(v))
+		}
+		for _, v := range strs {
+			row = append(row, sqlengine.NewString(v))
+		}
+		for _, v := range blobs {
+			row = append(row, sqlengine.NewBytes(v))
+		}
+		row = append(row, sqlengine.NewTime(time.Unix(secs%1<<40, int64(nsec%1e9)).UTC()))
+		rows := []sqlengine.Row{row, {}}
+		back, err := DecodeRowsBinary(EncodeRowsBinary(rows))
+		if err != nil {
+			return false
+		}
+		if len(back) != 2 || len(back[0]) != len(row) {
+			return false
+		}
+		for j := range row {
+			w, g := normBytes(row[j]), normBytes(back[0][j])
+			if w.Kind == sqlengine.KindTime {
+				if !w.Time.Equal(g.Time) {
+					return false
+				}
+				continue
+			}
+			if !reflect.DeepEqual(w, g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinaryRowsMalformed: truncations and garbage are loud protocol
+// errors, never silent short results.
+func TestBinaryRowsMalformed(t *testing.T) {
+	frame := EncodeRowsBinary(allKindsRows())
+	if _, err := DecodeRowsBinary(nil); err == nil {
+		t.Error("empty frame decoded")
+	}
+	if _, err := DecodeRowsBinary([]byte{'X', 1, 0}); err == nil {
+		t.Error("bad magic decoded")
+	}
+	if _, err := DecodeRowsBinary([]byte{'R', 99, 0}); err == nil {
+		t.Error("future version decoded")
+	}
+	for cut := 1; cut < len(frame); cut += 7 {
+		if _, err := DecodeRowsBinary(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded silently", cut)
+		}
+	}
+	// A frame claiming absurd row counts must be rejected before
+	// allocation, not OOM.
+	if _, err := DecodeRowsBinary([]byte{'R', 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Error("absurd row count decoded")
+	}
+}
+
+// TestWireResultMatchesBoxed: the zero-boxing XML payload renders byte-
+// identically to the boxed EncodeResult path (struct members sorted on
+// both), so third-party decoders cannot tell them apart.
+func TestWireResultMatchesBoxed(t *testing.T) {
+	rs := &sqlengine.ResultSet{
+		Columns: []string{"a", "b", "c"},
+		Rows: []sqlengine.Row{
+			{sqlengine.NewInt(1), sqlengine.NewString("x<&>"), sqlengine.NewFloat(2.5)},
+			{sqlengine.Null(), sqlengine.NewBool(true), sqlengine.NewBytes([]byte{1, 2})},
+			{sqlengine.NewTime(time.Date(2005, 6, 15, 12, 0, 0, 0, time.UTC)), sqlengine.NewInt(-7), sqlengine.NewString("")},
+		},
+	}
+	fast, err := clarens.MarshalResponse(WireResult(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxed, err := clarens.MarshalResponse(EncodeResult(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fast, boxed) {
+		t.Fatalf("wire documents differ:\n fast:  %s\n boxed: %s", fast, boxed)
+	}
+
+	// And the streaming decoder reads the document back into the same
+	// result set the boxed decoder produces.
+	v, err := clarens.UnmarshalResponse(boxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBoxed, err := DecodeResult(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := clarens.DecodeResponse(bytes.NewReader(fast), func(d *clarens.Decoder) (interface{}, error) {
+		return DecodeResultFrom(d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStream := res.(*sqlengine.ResultSet)
+	if !reflect.DeepEqual(viaBoxed.Columns, viaStream.Columns) {
+		t.Fatalf("columns: %v vs %v", viaBoxed.Columns, viaStream.Columns)
+	}
+	if !reflect.DeepEqual(viaBoxed.Rows, viaStream.Rows) {
+		t.Fatalf("rows:\n boxed:  %#v\n stream: %#v", viaBoxed.Rows, viaStream.Rows)
+	}
+}
+
+// binDeployment is twoServerDeployment with per-side control of the
+// binary row codec.
+func binDeployment(t *testing.T, jc1Bin, jc2Bin bool) (*Service, *Service) {
+	t.Helper()
+	catalog := rls.NewServer(0)
+	rlsURL, err := catalog.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { catalog.Close() })
+
+	mk := func(name string, bin bool) *Service {
+		svc := New(Config{Name: name, RLS: rls.NewClient(rlsURL), DisableBinRows: !bin})
+		srv := clarens.NewServer(true)
+		svc.RegisterMethods(srv)
+		url, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.SetURL(url)
+		t.Cleanup(func() { srv.Close(); svc.Close() })
+		return svc
+	}
+	jc1 := mk("jc1", jc1Bin)
+	jc2 := mk("jc2", jc2Bin)
+
+	_, evSpec := mkMart(t, "b_events", sqlengine.DialectMySQL, "events", 12)
+	addMart(t, jc1, "b_events", evSpec, "gridsql-mysql")
+	_, runSpec := mkMart(t, "b_runs", sqlengine.DialectMSSQL, "runsinfo", 6)
+	addMart(t, jc2, "b_runs", runSpec, "gridsql-mssql")
+	return jc1, jc2
+}
+
+// TestForwardNegotiatesBinary: with both sides speaking the codec, a
+// remote forward uses the binary framing and returns the same rows.
+func TestForwardNegotiatesBinary(t *testing.T) {
+	jc1, _ := binDeployment(t, true, true)
+	qr, err := jc1.Query("SELECT event_id, e_tot FROM runsinfo WHERE run = 101 ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Route != RouteRemote || len(qr.Rows) != 3 {
+		t.Fatalf("route=%s rows=%d", qr.Route, len(qr.Rows))
+	}
+	if got := jc1.Stats().BinForwards.Load(); got != 1 {
+		t.Errorf("BinForwards = %d, want 1", got)
+	}
+	// Second forward reuses the negotiated peer without re-probing.
+	if _, err := jc1.Query("SELECT event_id FROM runsinfo"); err != nil {
+		t.Fatal(err)
+	}
+	if got := jc1.Stats().BinForwards.Load(); got != 2 {
+		t.Errorf("BinForwards after second query = %d, want 2", got)
+	}
+}
+
+// TestForwardFallsBackToPlainXML: a peer without the codec (third-party
+// server, older build) answers over plain XML-RPC transparently.
+func TestForwardFallsBackToPlainXML(t *testing.T) {
+	jc1, _ := binDeployment(t, true, false)
+	qr, err := jc1.Query("SELECT event_id, e_tot FROM runsinfo WHERE run = 101 ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Route != RouteRemote || len(qr.Rows) != 3 {
+		t.Fatalf("route=%s rows=%d", qr.Route, len(qr.Rows))
+	}
+	if got := jc1.Stats().BinForwards.Load(); got != 0 {
+		t.Errorf("BinForwards = %d, want 0 (peer has no codec)", got)
+	}
+
+	// And a sender with the codec disabled never probes at all.
+	jc1b, _ := binDeployment(t, false, true)
+	if _, err := jc1b.Query("SELECT event_id FROM runsinfo"); err != nil {
+		t.Fatal(err)
+	}
+	if got := jc1b.Stats().BinForwards.Load(); got != 0 {
+		t.Errorf("BinForwards with DisableBinRows = %d, want 0", got)
+	}
+}
+
+// TestForwardResultsIdenticalAcrossFramings: the same remote query through
+// binary and XML framing produces identical rows.
+func TestForwardResultsIdenticalAcrossFramings(t *testing.T) {
+	const q = "SELECT event_id, run, e_tot FROM runsinfo ORDER BY event_id"
+	jc1, _ := binDeployment(t, true, true)
+	bin, err := jc1.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc1x, _ := binDeployment(t, false, false)
+	xml, err := jc1x.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bin.Rows, xml.Rows) || !reflect.DeepEqual(bin.Columns, xml.Columns) {
+		t.Fatalf("framings disagree:\n bin: %#v\n xml: %#v", bin.ResultSet, xml.ResultSet)
+	}
+}
+
+// TestQuerybAndFetchbEndToEnd drives the negotiated methods the way a
+// peer server does: queryb for full results, cursor open + fetchb for
+// paged streams, both decoded streaming off the wire.
+func TestQuerybAndFetchbEndToEnd(t *testing.T) {
+	_, jc2 := binDeployment(t, true, true)
+	c := clarens.NewClient(jc2.cfg.URL)
+
+	// Capability handshake.
+	caps, err := c.Call("system.capabilities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := caps.(map[string]interface{})["rowcodec"].(int64); v < RowCodecVersion {
+		t.Fatalf("capabilities = %v", caps)
+	}
+
+	res, err := c.CallDecodeContext(context.Background(), "dataaccess.queryb",
+		func(d *clarens.Decoder) (interface{}, error) { return DecodeResultFrom(d) },
+		"SELECT event_id, e_tot FROM runsinfo ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.(*sqlengine.ResultSet)
+	if len(rs.Rows) != 6 || rs.Rows[0][0].Int != 1 {
+		t.Fatalf("queryb rows: %v", rs.Rows)
+	}
+
+	// Cursor + binary fetch.
+	open, err := c.Call("system.cursor.open", "SELECT event_id FROM runsinfo ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := open.(map[string]interface{})["cursor"].(string)
+	var got []int64
+	for {
+		res, err := c.CallDecodeContext(context.Background(), "system.cursor.fetchb",
+			func(d *clarens.Decoder) (interface{}, error) { return DecodeChunkFrom(d) },
+			id, int64(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := res.(*Chunk)
+		for _, row := range chunk.Rows {
+			got = append(got, row[0].Int)
+		}
+		if chunk.Done {
+			break
+		}
+	}
+	if len(got) != 6 || got[0] != 1 || got[5] != 6 {
+		t.Fatalf("fetchb streamed %v", got)
+	}
+	if _, err := c.Call("system.cursor.close", id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForwardEmptyResponse: a peer answering with an empty methodResponse
+// (no result value) is a descriptive error, not a nil-assertion panic.
+func TestForwardEmptyResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml")
+		io.WriteString(w, "<methodResponse></methodResponse>")
+	}))
+	defer srv.Close()
+	s := New(Config{Name: "empty-test", DisableBinRows: true})
+	defer s.Close()
+	_, err := s.forward(context.Background(), srv.URL, "SELECT 1")
+	if err == nil || !strings.Contains(err.Error(), "empty response") {
+		t.Fatalf("err = %v, want empty-response error", err)
+	}
+}
+
+// TestCursorStatsMethod: the system.cursorstats surface reports opens,
+// fetches, streamed rows and reaps.
+func TestCursorStatsMethod(t *testing.T) {
+	_, jc2 := binDeployment(t, true, true)
+	c := clarens.NewClient(jc2.cfg.URL)
+
+	open, err := c.Call("system.cursor.open", "SELECT event_id FROM runsinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := open.(map[string]interface{})["cursor"].(string)
+	if _, err := c.Call("system.cursor.fetch", id, int64(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Call("system.cursorstats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.(map[string]interface{})
+	if st["open"].(int64) != 1 || st["opened"].(int64) != 1 {
+		t.Errorf("open/opened = %v/%v", st["open"], st["opened"])
+	}
+	if st["fetches"].(int64) != 1 || st["rows"].(int64) != 4 {
+		t.Errorf("fetches/rows = %v/%v", st["fetches"], st["rows"])
+	}
+	if _, err := c.Call("system.cursor.close", id); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Call("system.cursorstats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open := res.(map[string]interface{})["open"].(int64); open != 0 {
+		t.Errorf("open after close = %d", open)
+	}
+}

@@ -1,0 +1,300 @@
+package experiments
+
+// The wire experiment measures the zero-boxing wire path against the
+// boxed/tree reference codec it replaced, in the same run: a row result
+// is marshalled and unmarshalled through
+//
+//	boxed: EncodeRows -> []interface{} -> MarshalResponse document ->
+//	       tree parse (UnmarshalResponseTree) -> DecodeResult re-boxing
+//	xml:   wire payload (clarens.ValueMarshaler, cell-direct encode) ->
+//	       streaming token decode straight into engine rows
+//	bin:   binary row frame in one base64 value (the negotiated
+//	       server↔server framing)
+//
+// plus one end-to-end XML-RPC call per framing against a live Clarens
+// server. benchrepro -exp wire writes the datapoint to BENCH_wire.json so
+// allocation regressions on the hot marshalling path show up in the
+// trajectory from PR to PR.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/sqlengine"
+)
+
+// WireRow is the datapoint written to BENCH_wire.json.
+type WireRow struct {
+	// Rows is the result-set size each op marshals and unmarshals.
+	Rows int `json:"rows"`
+
+	// Boxed*: the legacy interface{}-boxed encode + tree decode round trip.
+	BoxedNsOp     int64 `json:"boxed_ns_op"`
+	BoxedAllocsOp int64 `json:"boxed_allocs_op"`
+	BoxedBytesOp  int64 `json:"boxed_bytes_op"`
+
+	// XML*: the zero-boxing direct encode + streaming decode round trip
+	// (same document bytes as boxed).
+	XMLNsOp     int64 `json:"xml_ns_op"`
+	XMLAllocsOp int64 `json:"xml_allocs_op"`
+	XMLBytesOp  int64 `json:"xml_bytes_op"`
+
+	// Bin*: the negotiated binary row framing round trip.
+	BinNsOp     int64 `json:"bin_ns_op"`
+	BinAllocsOp int64 `json:"bin_allocs_op"`
+	BinBytesOp  int64 `json:"bin_bytes_op"`
+
+	// Document sizes per framing.
+	XMLDocBytes int64 `json:"xml_doc_bytes"`
+	BinDocBytes int64 `json:"bin_doc_bytes"`
+
+	// Rows/sec through each codec round trip.
+	BoxedRowsPerSec float64 `json:"boxed_rows_per_sec"`
+	XMLRowsPerSec   float64 `json:"xml_rows_per_sec"`
+	BinRowsPerSec   float64 `json:"bin_rows_per_sec"`
+
+	// Alloc reductions versus the boxed path (the headline numbers).
+	XMLAllocReduction float64 `json:"xml_alloc_reduction"`
+	BinAllocReduction float64 `json:"bin_alloc_reduction"`
+
+	// End-to-end XML-RPC calls against a live server, per framing.
+	CallXMLNsOp     int64 `json:"call_xml_ns_op"`
+	CallXMLAllocsOp int64 `json:"call_xml_allocs_op"`
+	CallBinNsOp     int64 `json:"call_bin_ns_op"`
+	CallBinAllocsOp int64 `json:"call_bin_allocs_op"`
+}
+
+// wireResultSet builds the measured result shape: the paper's event-scan
+// row (two ints, a double) plus a short tag string for codec realism.
+func wireResultSet(n int) *sqlengine.ResultSet {
+	rs := &sqlengine.ResultSet{Columns: []string{"event_id", "run", "e_tot", "tag"}}
+	rs.Rows = make([]sqlengine.Row, n)
+	for i := range rs.Rows {
+		rs.Rows[i] = sqlengine.Row{
+			sqlengine.NewInt(int64(i + 1)),
+			sqlengine.NewInt(int64(100 + i%7)),
+			sqlengine.NewFloat(float64(i) + 0.5),
+			sqlengine.NewString(fmt.Sprintf("run-%03d", i%7)),
+		}
+	}
+	return rs
+}
+
+// measure runs op iters times and returns (ns/op, allocs/op, bytes/op).
+func measure(iters int, op func() error) (int64, int64, int64, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	n := int64(iters)
+	return elapsed.Nanoseconds() / n,
+		int64(m1.Mallocs-m0.Mallocs) / n,
+		int64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		nil
+}
+
+// RunWire measures the codec round trips over a result of n rows, and one
+// end-to-end call per framing, averaging repeats runs of iters iterations.
+func RunWire(n, repeats int) (WireRow, error) {
+	if n <= 0 {
+		n = 2000
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	iters := 8
+	rs := wireResultSet(n)
+	row := WireRow{Rows: n}
+
+	// Boxed reference: interface{} boxing, one materialized document,
+	// generic tree parse, re-boxing decode.
+	boxedOp := func() error {
+		payload, err := clarens.MarshalResponse(dataaccess.EncodeResult(rs))
+		if err != nil {
+			return err
+		}
+		v, err := clarens.UnmarshalResponseTree(payload)
+		if err != nil {
+			return err
+		}
+		back, err := dataaccess.DecodeResult(v)
+		if err != nil {
+			return err
+		}
+		if len(back.Rows) != n {
+			return fmt.Errorf("boxed round trip lost rows: %d", len(back.Rows))
+		}
+		return nil
+	}
+
+	// Zero-boxing XML: cell-direct encode into a reused buffer, streaming
+	// decode straight into engine rows.
+	var xmlBuf bytes.Buffer
+	xmlOp := func() error {
+		xmlBuf.Reset()
+		if err := clarens.MarshalResponseTo(&xmlBuf, dataaccess.WireResult(rs)); err != nil {
+			return err
+		}
+		row.XMLDocBytes = int64(xmlBuf.Len())
+		res, err := clarens.DecodeResponse(bytes.NewReader(xmlBuf.Bytes()), func(d *clarens.Decoder) (interface{}, error) {
+			return dataaccess.DecodeResultFrom(d)
+		})
+		if err != nil {
+			return err
+		}
+		if back := res.(*sqlengine.ResultSet); len(back.Rows) != n {
+			return fmt.Errorf("xml round trip lost rows: %d", len(back.Rows))
+		}
+		return nil
+	}
+
+	// Binary framing: the negotiated server↔server representation.
+	var binBuf []byte
+	binOp := func() error {
+		binBuf = dataaccess.AppendRowsBinary(binBuf[:0], rs.Rows)
+		row.BinDocBytes = int64(len(binBuf))
+		back, err := dataaccess.DecodeRowsBinary(binBuf)
+		if err != nil {
+			return err
+		}
+		if len(back) != n {
+			return fmt.Errorf("binary round trip lost rows: %d", len(back))
+		}
+		return nil
+	}
+
+	for r := 0; r < repeats; r++ {
+		ns, allocs, bts, err := measure(iters, boxedOp)
+		if err != nil {
+			return row, err
+		}
+		row.BoxedNsOp += ns
+		row.BoxedAllocsOp += allocs
+		row.BoxedBytesOp += bts
+
+		ns, allocs, bts, err = measure(iters, xmlOp)
+		if err != nil {
+			return row, err
+		}
+		row.XMLNsOp += ns
+		row.XMLAllocsOp += allocs
+		row.XMLBytesOp += bts
+
+		ns, allocs, bts, err = measure(iters, binOp)
+		if err != nil {
+			return row, err
+		}
+		row.BinNsOp += ns
+		row.BinAllocsOp += allocs
+		row.BinBytesOp += bts
+	}
+	div := int64(repeats)
+	row.BoxedNsOp /= div
+	row.BoxedAllocsOp /= div
+	row.BoxedBytesOp /= div
+	row.XMLNsOp /= div
+	row.XMLAllocsOp /= div
+	row.XMLBytesOp /= div
+	row.BinNsOp /= div
+	row.BinAllocsOp /= div
+	row.BinBytesOp /= div
+
+	if err := runWireCalls(&row, n, repeats); err != nil {
+		return row, err
+	}
+
+	if row.BoxedNsOp > 0 {
+		row.BoxedRowsPerSec = float64(n) / (float64(row.BoxedNsOp) / 1e9)
+	}
+	if row.XMLNsOp > 0 {
+		row.XMLRowsPerSec = float64(n) / (float64(row.XMLNsOp) / 1e9)
+	}
+	if row.BinNsOp > 0 {
+		row.BinRowsPerSec = float64(n) / (float64(row.BinNsOp) / 1e9)
+	}
+	if row.XMLAllocsOp > 0 {
+		row.XMLAllocReduction = float64(row.BoxedAllocsOp) / float64(row.XMLAllocsOp)
+	}
+	if row.BinAllocsOp > 0 {
+		row.BinAllocReduction = float64(row.BoxedAllocsOp) / float64(row.BinAllocsOp)
+	}
+	return row, nil
+}
+
+// runWireCalls measures end-to-end XML-RPC calls (server dispatch, HTTP,
+// decode) per framing against a live single-mart deployment.
+func runWireCalls(row *WireRow, n, repeats int) error {
+	svc, cleanup, err := streamTestbed(n)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	front := clarens.NewServer(true)
+	svc.RegisterMethods(front)
+	url, err := front.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer front.Close()
+	c := clarens.NewClient(url)
+	ctx := context.Background()
+
+	xmlCall := func() error {
+		res, err := c.CallDecodeContext(ctx, "dataaccess.query", func(d *clarens.Decoder) (interface{}, error) {
+			return dataaccess.DecodeResultFrom(d)
+		}, StreamQuery)
+		if err != nil {
+			return err
+		}
+		if rs := res.(*sqlengine.ResultSet); len(rs.Rows) != n {
+			return fmt.Errorf("xml call returned %d rows", len(rs.Rows))
+		}
+		return nil
+	}
+	binCall := func() error {
+		res, err := c.CallDecodeContext(ctx, "dataaccess.queryb", func(d *clarens.Decoder) (interface{}, error) {
+			return dataaccess.DecodeResultFrom(d)
+		}, StreamQuery)
+		if err != nil {
+			return err
+		}
+		if rs := res.(*sqlengine.ResultSet); len(rs.Rows) != n {
+			return fmt.Errorf("binary call returned %d rows", len(rs.Rows))
+		}
+		return nil
+	}
+
+	iters := 4
+	for r := 0; r < repeats; r++ {
+		ns, allocs, _, err := measure(iters, xmlCall)
+		if err != nil {
+			return err
+		}
+		row.CallXMLNsOp += ns
+		row.CallXMLAllocsOp += allocs
+		ns, allocs, _, err = measure(iters, binCall)
+		if err != nil {
+			return err
+		}
+		row.CallBinNsOp += ns
+		row.CallBinAllocsOp += allocs
+	}
+	div := int64(repeats)
+	row.CallXMLNsOp /= div
+	row.CallXMLAllocsOp /= div
+	row.CallBinNsOp /= div
+	row.CallBinAllocsOp /= div
+	return nil
+}

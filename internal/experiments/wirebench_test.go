@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestRunWireSmoke: the wire experiment completes at CI scale and the
+// zero-boxing paths beat the boxed baseline on allocations.
+func TestRunWireSmoke(t *testing.T) {
+	row, err := RunWire(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Rows != 300 {
+		t.Fatalf("rows = %d", row.Rows)
+	}
+	if row.BoxedAllocsOp <= 0 || row.XMLAllocsOp <= 0 || row.BinAllocsOp <= 0 {
+		t.Fatalf("alloc counters missing: %+v", row)
+	}
+	if row.XMLAllocsOp >= row.BoxedAllocsOp {
+		t.Fatalf("xml path did not reduce allocs: xml %d vs boxed %d", row.XMLAllocsOp, row.BoxedAllocsOp)
+	}
+	if row.BinAllocReduction < 2 {
+		t.Fatalf("binary framing reduction %.1fx < 2x (allocs %d vs boxed %d)",
+			row.BinAllocReduction, row.BinAllocsOp, row.BoxedAllocsOp)
+	}
+	if row.BinDocBytes <= 0 || row.BinDocBytes >= row.XMLDocBytes {
+		t.Fatalf("binary frame not smaller: bin %d vs xml %d", row.BinDocBytes, row.XMLDocBytes)
+	}
+	if row.CallXMLNsOp <= 0 || row.CallBinNsOp <= 0 {
+		t.Fatalf("end-to-end call timings missing: %+v", row)
+	}
+}
