@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, cache, stream, wire, table1, fig6, all")
+	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, cache, stream, wire, relay, table1, fig6, all")
 	scale := flag.String("scale", "small", "testbed scale: small (CI) or paper (simulated LAN, full size)")
 	repeats := flag.Int("repeats", 3, "measurement repeats per point")
 	cacheOut := flag.String("cache-out", "BENCH_cache.json", "path of the cache datapoint file (\"\" disables)")
@@ -32,6 +32,8 @@ func main() {
 	streamRows := flag.Int("stream-rows", 0, "row count of the streaming experiment's scan table (0 = scale default)")
 	wireOut := flag.String("wire-out", "BENCH_wire.json", "path of the wire-codec datapoint file (\"\" disables)")
 	wireRows := flag.Int("wire-rows", 0, "row count of the wire-codec experiment's result set (0 = scale default)")
+	relayOut := flag.String("relay-out", "BENCH_relay.json", "path of the cursor-relay datapoint file (\"\" disables)")
+	relayRows := flag.Int("relay-rows", 0, "base row count of the relay experiment's remote table (0 = scale default; the sweep also measures 10x this)")
 	flag.Parse()
 
 	profile := netsim.Local
@@ -72,6 +74,16 @@ func main() {
 			}
 		}
 		return runWire(rows, *repeats, *wireOut)
+	})
+	run("relay", func() error {
+		rows := *relayRows
+		if rows == 0 {
+			rows = 2000
+			if *scale == "paper" {
+				rows = 20000
+			}
+		}
+		return runRelay(rows, *repeats, *relayOut)
 	})
 
 	var dep *experiments.Deployment
@@ -212,6 +224,53 @@ func runWire(rows, repeats int, outPath string) error {
 		"rows":      row.Rows,
 		"repeats":   repeats,
 		"result":    row,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
+}
+
+// runRelay measures a federated scan of a remote table through the
+// materialized whole-result forward versus the cursor-to-cursor relay, at
+// the base row count and at 10x, and writes both datapoints to outPath.
+// The relay's claim is that the forwarder's peak live heap stays roughly
+// flat as the remote table grows; the materialized forward's grows with
+// it. A differential check asserts both paths return byte-identical rows.
+func runRelay(rows, repeats int, outPath string) error {
+	fmt.Println("== Extension: federated streaming, materialized forward vs cursor relay ==")
+	points := make([]experiments.RelayRow, 0, 2)
+	for _, n := range []int{rows, 10 * rows} {
+		row, err := experiments.RunRelay(n, repeats)
+		if err != nil {
+			return err
+		}
+		points = append(points, row)
+	}
+	fmt.Printf("%10s %16s %20s %16s %20s %10s\n", "rows", "forward (ns)", "fwd peak (bytes)", "relay (ns)", "relay peak (bytes)", "identical")
+	for _, r := range points {
+		fmt.Printf("%10d %16d %20d %16d %20d %10v\n", r.Rows, r.ForwardNsOp, r.ForwardPeakBytes, r.RelayNsOp, r.RelayPeakBytes, r.Identical)
+	}
+	if points[0].RelayPeakBytes > 0 {
+		fmt.Printf("relay peak growth over 10x rows: %.2fx (forward: %.2fx)\n",
+			float64(points[1].RelayPeakBytes)/float64(points[0].RelayPeakBytes),
+			float64(points[1].ForwardPeakBytes)/float64(max(points[0].ForwardPeakBytes, 1)))
+	}
+	fmt.Println("expected shape: the forwarder's peak heap grows ~10x with the materialized forward")
+	fmt.Println("and stays roughly flat with the relay (bounded by the relay fetch size)")
+	fmt.Println()
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(map[string]interface{}{
+		"benchmark": "cursor_relay",
+		"query":     experiments.RelayQuery,
+		"repeats":   repeats,
+		"result":    points,
 	}, "", "  ")
 	if err != nil {
 		return err

@@ -17,7 +17,13 @@
 // response: rows print as chunks of at most -fetch-size arrive, neither
 // side ever buffers more than one chunk, and interrupting the client (or
 // letting the cursor idle past the server's TTL) cancels the producing
-// query on the server.
+// query on the server. When the queried table lives on *another* JClarens
+// server, the contacted server relays that peer's cursor page by page, so
+// the -fetch-size bound holds on every hop of the federation — no server
+// on the path materializes the scan. -cursors shows both sides of that
+// traffic: the cursors this server serves (open/opened/fetches/rows/
+// reaped) and the relays it runs onto peers (relay_opens/relay_fetches/
+// relay_rows/relay_fallbacks).
 package main
 
 import (
@@ -83,9 +89,17 @@ func main() {
 			log.Fatalf("gridql: %v", err)
 		}
 		m := res.(map[string]interface{})
-		fmt.Println("streaming cursors")
+		fmt.Println("streaming cursors (served)")
 		for _, k := range []string{"open", "opened", "fetches", "rows", "reaped"} {
-			fmt.Printf("  %-10s %v\n", k, m[k])
+			fmt.Printf("  %-15s %v\n", k, m[k])
+		}
+		fmt.Println("cursor relays onto peers (outbound)")
+		for _, k := range []string{"relay_opens", "relay_fetches", "relay_rows", "relay_fallbacks"} {
+			v, ok := m[k]
+			if !ok {
+				v = int64(0) // pre-relay server: counters not reported
+			}
+			fmt.Printf("  %-15s %v\n", k, v)
 		}
 	case *tables:
 		res, err := c.CallContext(ctx, "dataaccess.tables")

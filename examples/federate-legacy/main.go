@@ -7,11 +7,19 @@
 // replicas of one logical table: a single query reaches either copy, with
 // replica selection steered by network proximity probes.
 //
+// The example finishes with the streamed counterpart of the federated
+// query: rows pulled incrementally off the chosen replica instead of one
+// materialized result. Against a running jclarensd the same shape is
+// reached from the command line with `gridql -stream` (page size set by
+// `-fetch-size`, server-side cursor traffic inspected with `-cursors`).
+//
 // Run with: go run ./examples/federate-legacy
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 	"time"
 
@@ -105,4 +113,27 @@ func main() {
 	}
 	fmt.Printf("\nafter proximity probes, the replicated table is read from: %s (the near site)\n",
 		plan.Subs[0].Source)
+
+	// --- Streamed federated scan ---------------------------------------
+	// The same logical query as an incremental row stream: the pushdown
+	// plan streams straight off the chosen replica, one row per pull.
+	// Over XML-RPC this shape is `gridql -stream -fetch-size 256 "..."`,
+	// with `gridql -cursors` showing the server-side cursor (and, on
+	// multi-server grids, cursor-relay) counters.
+	it, _, err := fed.QueryStreamContext(context.Background(), "SELECT evt_id, e_raw FROM events_t01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer it.Close()
+	streamed := 0
+	for {
+		if _, err := it.Next(); err != nil {
+			if err != io.EOF {
+				log.Fatal(err)
+			}
+			break
+		}
+		streamed++
+	}
+	fmt.Printf("\nstreamed federated scan: %d rows pulled incrementally (gridql -stream / -fetch-size / -cursors)\n", streamed)
 }

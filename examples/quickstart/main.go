@@ -10,6 +10,11 @@
 //  5. clients run federated SQL with a single logical view, including a
 //     cross-server join.
 //
+// How these layers fit together — and how streamed queries ride
+// server-side cursors and cursor-to-cursor relays across the grid — is
+// mapped in docs/ARCHITECTURE.md; the wire protocol a third-party
+// client would speak is specified in docs/WIRE.md.
+//
 // Run with: go run ./examples/quickstart
 package main
 

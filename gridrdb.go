@@ -31,9 +31,16 @@
 //     third-party clients keep working (disable per server with
 //     ServerConfig.DisableBinaryRows).
 //
+// Queries are answered materialized (Server.Query) or as incremental
+// row streams (Server.QueryStream); streamed queries that route to
+// another server ride a cursor-to-cursor relay, so per-scan memory is
+// bounded by a fetch size on every hop of the federation.
+//
 // A Grid value assembles a full deployment: one RLS catalog plus any
 // number of JClarens server instances, each hosting data marts. See
-// examples/quickstart for a complete walk-through.
+// examples/quickstart for a complete walk-through, docs/ARCHITECTURE.md
+// for the layer map and data flows, and docs/WIRE.md for the wire
+// protocol third-party clients speak.
 package gridrdb
 
 import (
@@ -153,6 +160,17 @@ type ServerConfig struct {
 	// Plain XML-RPC always remains accepted, so the switch only trades
 	// speed, never interoperability.
 	DisableBinaryRows bool
+	// RelayFetchSize is how many rows each cursor-relay fetch pulls from a
+	// remote peer when a streamed query routes there (0 = the server
+	// default, 256; the peer clamps to its own maximum). It bounds this
+	// server's buffering per federated stream.
+	RelayFetchSize int
+	// SourceBudget bounds each per-source operation of a federated query —
+	// a remote forward, every relay page fetch, and each decomposed
+	// sub-query of the local scatter-gather — independently of
+	// RequestTimeout, so one stuck source cannot consume a whole request's
+	// allowance. 0 applies no per-source bound.
+	SourceBudget time.Duration
 }
 
 // Server is one running JClarens instance: the data access service plus
@@ -198,10 +216,16 @@ func (s *Server) QueryContext(ctx context.Context, sql string, params ...Value) 
 // are pulled from the producing backend as the caller iterates, so a scan
 // larger than server memory never materializes. Single-source scans (the
 // POOL-RAL route and Unity pushdown plans) stream straight off the
-// backend; decomposed and remote queries integrate first and stream from
-// memory. Cancelling ctx — or closing the stream — stops the backend
-// query mid-scan. The caller must Close the stream (ForEach does so
-// automatically):
+// backend. A query whose tables live on another Clarens server streams
+// through a cursor-to-cursor relay: this server opens a cursor on the
+// peer and pulls it page by page, so no hop materializes the scan and
+// memory stays bounded by the fetch size end to end (peers without cursor
+// support fall back to a materialized forward). Mixed multi-server
+// queries relay their remote inputs incrementally into the integration
+// engine and stream the integrated result from memory. Cancelling ctx —
+// or closing the stream — stops the backend query mid-scan, closing any
+// remote cursors the relay holds. The caller must Close the stream
+// (ForEach does so automatically):
 //
 //	sr, err := srv.QueryStream(ctx, "SELECT * FROM events")
 //	if err != nil { ... }
@@ -277,6 +301,8 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 		CacheTTL:       cfg.CacheTTL,
 		CursorTTL:      cfg.CursorTTL,
 		DisableBinRows: cfg.DisableBinaryRows,
+		RelayFetchSize: cfg.RelayFetchSize,
+		SourceBudget:   cfg.SourceBudget,
 	}
 	if rlsURL != "" {
 		c := rls.NewClient(rlsURL)

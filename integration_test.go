@@ -7,6 +7,7 @@ package gridrdb
 // examples/analysis-histogram as assertions.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -123,6 +124,37 @@ func TestFullPaperPipeline(t *testing.T) {
 	}
 	if qr.Route != dataaccess.RouteRemote || qr.Servers != 2 {
 		t.Errorf("remote route = %s servers=%d", qr.Route, qr.Servers)
+	}
+
+	// The streamed counterpart of a remote query rides the cursor relay:
+	// jc1 opens a cursor on jc2 and pages it, delivering the same rows as
+	// the materialized forward — and the relay counters prove the path.
+	mat, err := jc1.Query("SELECT event_id, v0 FROM it_run101 ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := jc1.QueryStream(context.Background(), "SELECT event_id, v0 FROM it_run101 ORDER BY event_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Route != dataaccess.RouteRemote || sr.Servers != 2 {
+		t.Errorf("streamed remote route = %s servers=%d", sr.Route, sr.Servers)
+	}
+	streamed := 0
+	if err := sr.ForEach(func(row Row) error {
+		if row[0].Int != mat.Rows[streamed][0].Int {
+			return fmt.Errorf("row %d: relayed %d != forwarded %d", streamed, row[0].Int, mat.Rows[streamed][0].Int)
+		}
+		streamed++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(mat.Rows) {
+		t.Fatalf("relayed %d rows, forward returned %d", streamed, len(mat.Rows))
+	}
+	if st := jc1.Service.CursorStats(); st.RelayOpens == 0 || st.RelayRows < int64(streamed) {
+		t.Errorf("relay counters = %+v, want the streamed remote scan relayed", st)
 	}
 
 	// Every event is reachable through the federation: the three run

@@ -1,0 +1,27 @@
+// Package clarens reimplements the Clarens/JClarens web-service layer the
+// paper builds its interface on: an XML-RPC server multiplexing named
+// service methods over HTTP, with session-based authentication, and a
+// matching lightweight client. The data access service (§4.5) registers
+// its methods on this server; "all kinds of (simple and) complex clients"
+// reach the middleware through it. The on-the-wire contract — envelope,
+// fault codes, capability handshake, row encodings, size caps — is
+// specified for third-party client authors in docs/WIRE.md.
+//
+// Calls are cancellable end-to-end: each Method receives a
+// context.Context derived from the HTTP request (cancelled on client
+// disconnect, optionally bounded by Server.SetRequestTimeout), the
+// Client's CallContext threads a caller context into the request, and
+// context errors surface as the distinct FaultCancelled fault code.
+//
+// The wire codec is the streaming, zero-boxing pair in encode.go /
+// decode.go: responses are rendered straight into pooled buffers (payloads
+// implementing ValueMarshaler encode cell-direct) and stream to the client
+// past a size threshold, and documents are decoded by a single xml.Decoder
+// token walk instead of an intermediate generic tree —
+// Client.CallDecodeContext hands the positioned Decoder to the caller so
+// row payloads land directly in engine values. xmlrpc.go keeps the fault
+// model and the legacy tree codec (UnmarshalCallTree /
+// UnmarshalResponseTree), retained as the reference implementation for
+// differential fuzzing and for the benchrepro wire experiment's
+// before/after comparison.
+package clarens

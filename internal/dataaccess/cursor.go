@@ -119,11 +119,21 @@ func (s *Service) OpenCursor(ctx context.Context, sqlText string, params ...sqle
 	reg.mu.Unlock()
 
 	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	// Until the cursor is registered, the opening request's death must
+	// still cancel the producing query: a caller that abandons
+	// cursor.open can never learn the cursor id, so an un-registered
+	// producer would otherwise run detached — beyond even the TTL
+	// reaper's reach — until the backend chose to return. Once registered
+	// the watch is dropped and the cursor outlives its opening request,
+	// guarded by the idle TTL.
+	stopWatch := context.AfterFunc(ctx, cancel)
 	sr, err := s.QueryStreamContext(cctx, sqlText, params...)
 	if err != nil {
+		stopWatch()
 		cancel()
 		return nil, err
 	}
+	stopWatch()
 	buf := make([]byte, 16)
 	if _, err := rand.Read(buf); err != nil {
 		cancel()
@@ -257,17 +267,31 @@ type CursorStats struct {
 	RowsFetched int64
 	// Reaped counts cursors the idle-TTL janitor collected.
 	Reaped int64
+	// RelayOpens / RelayFetches / RelayRows count this server's *outbound*
+	// cursor relays: remote cursors it opened on peers for federated
+	// streams, the pages it pulled off them, and the rows those pages
+	// carried. RelayFallbacks counts mid-stream downgrades from the binary
+	// fetchb framing to plain XML fetch (a peer that lost the codec).
+	RelayOpens     int64
+	RelayFetches   int64
+	RelayRows      int64
+	RelayFallbacks int64
 }
 
-// CursorStats snapshots the cursor subsystem's counters.
+// CursorStats snapshots the cursor subsystem's counters (inbound cursors
+// served to clients and peers, plus outbound relays onto peers).
 func (s *Service) CursorStats() CursorStats {
 	r := s.cursors
 	return CursorStats{
-		Open:        s.CursorCount(),
-		Opened:      r.opened.Load(),
-		Fetches:     r.fetches.Load(),
-		RowsFetched: r.rows.Load(),
-		Reaped:      r.reaped.Load(),
+		Open:           s.CursorCount(),
+		Opened:         r.opened.Load(),
+		Fetches:        r.fetches.Load(),
+		RowsFetched:    r.rows.Load(),
+		Reaped:         r.reaped.Load(),
+		RelayOpens:     s.relayOpens.Load(),
+		RelayFetches:   s.relayFetches.Load(),
+		RelayRows:      s.relayRows.Load(),
+		RelayFallbacks: s.relayFallbacks.Load(),
 	}
 }
 

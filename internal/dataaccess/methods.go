@@ -193,11 +193,15 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 	srv.Register("system.cursorstats", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
 		st := s.CursorStats()
 		return map[string]interface{}{
-			"open":    int64(st.Open),
-			"opened":  st.Opened,
-			"fetches": st.Fetches,
-			"rows":    st.RowsFetched,
-			"reaped":  st.Reaped,
+			"open":            int64(st.Open),
+			"opened":          st.Opened,
+			"fetches":         st.Fetches,
+			"rows":            st.RowsFetched,
+			"reaped":          st.Reaped,
+			"relay_opens":     st.RelayOpens,
+			"relay_fetches":   st.RelayFetches,
+			"relay_rows":      st.RelayRows,
+			"relay_fallbacks": st.RelayFallbacks,
 		}, nil
 	})
 

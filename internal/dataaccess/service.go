@@ -1,18 +1,3 @@
-// Package dataaccess implements the paper's data access layer (§4.5): the
-// JClarens-hosted service that receives SQL over logical names, decides
-// per query whether to route through the POOL-RAL module (databases whose
-// vendor POOL supports) or the Unity/JDBC module (everything else), and —
-// when a requested table is not registered locally — consults the Replica
-// Location Service and forwards sub-queries to the remote JClarens
-// instance that hosts it, integrating all partial results into one
-// consistent answer. It also hosts the runtime features of §4.9 (schema-
-// change tracking) and §4.10 (plug-in databases).
-//
-// Every query path is context-aware end-to-end: QueryContext threads its
-// context through the POOL-RAL statement, each Unity sub-query, RLS
-// lookups and remote JClarens forwards, so a disconnected or timed-out
-// client stops consuming backend resources promptly. The XML-RPC method
-// layer (RegisterMethods) derives that context from the HTTP request.
 package dataaccess
 
 import (
@@ -85,6 +70,18 @@ type Config struct {
 	// before its own forwards. Plain XML-RPC is always accepted
 	// regardless, so third-party clients are unaffected either way.
 	DisableBinRows bool
+	// RelayFetchSize is how many rows each cursor-relay fetch requests
+	// from a remote peer (0 = DefaultFetchSize; the peer clamps to its own
+	// MaxFetchSize). It bounds this server's buffering per federated
+	// stream: a relayed scan holds at most one chunk of this many rows.
+	RelayFetchSize int
+	// SourceBudget bounds each per-source remote operation — a
+	// materialized forward, a relay cursor open, every relay fetch and the
+	// relay close — and each decomposed sub-query of the local
+	// scatter-gather, independently of the caller's request deadline, so
+	// one stuck source cannot consume the whole request budget. 0 applies
+	// no per-source bound.
+	SourceBudget time.Duration
 }
 
 // Route identifies which module answered a query (§4.5's two modules plus
@@ -130,6 +127,11 @@ type Service struct {
 	ralConns map[string]string
 
 	stats Stats
+	// Outbound cursor-relay counters (surfaced through CursorStats).
+	relayOpens     atomic.Int64
+	relayFetches   atomic.Int64
+	relayRows      atomic.Int64
+	relayFallbacks atomic.Int64
 }
 
 // New creates an empty service; add databases with AddDatabase.
@@ -142,6 +144,7 @@ func New(cfg Config) *Service {
 		ralConns: make(map[string]string),
 		cursors:  newCursorRegistry(cfg.CursorTTL),
 	}
+	s.fed.SourceBudget = cfg.SourceBudget
 	if cfg.CacheSize > 0 {
 		shards := cfg.CacheShards
 		if shards == 0 && cfg.CacheMaxBytes > 0 {
@@ -403,49 +406,60 @@ func (s *Service) queryLocal(ctx context.Context, sqlText string, plan *unity.Pl
 // explicit flush) for freshness.
 const remoteDepPrefix = "remote:"
 
-// queryWithRemote handles queries touching tables this instance does not
-// host: RLS lookup, then either whole-query forwarding (all tables on one
-// remote server) or per-table fetch + local integration.
-func (s *Service) queryWithRemote(ctx context.Context, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+// remotePlan is the table-resolution outcome for a query touching tables
+// this instance does not host: which referenced tables are local, which
+// remote server hosts each remote table, and the cache-dependency
+// fingerprint of the answer.
+type remotePlan struct {
+	tables     []string
+	sel        *sqlengine.SelectStmt
+	local      map[string]bool
+	remoteHost map[string]string // table -> chosen server URL
+	deps       []qcache.Dep
+	// singleURL is set when no table is local and every remote table
+	// lives on one server — the whole query can be forwarded (or relayed)
+	// there untouched.
+	singleURL string
+}
+
+// resolveRemoteTables splits a query's tables into local and remote,
+// choosing a hosting server for each remote table through the RLS.
+func (s *Service) resolveRemoteTables(ctx context.Context, sqlText string) (*remotePlan, error) {
 	if s.cfg.RLS == nil {
-		return nil, nil, fmt.Errorf("dataaccess: query references unregistered tables and no RLS is configured")
+		return nil, fmt.Errorf("dataaccess: query references unregistered tables and no RLS is configured")
 	}
 	tables, sel, err := unity.TablesInQuery(sqlText)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	local := map[string]bool{}
-	remoteHost := map[string]string{} // table -> chosen server URL
-	var deps []qcache.Dep
+	rp := &remotePlan{tables: tables, sel: sel, local: map[string]bool{}, remoteHost: map[string]string{}}
 	for _, t := range tables {
 		if s.fed.HasTable(t) {
-			local[t] = true
+			rp.local[t] = true
 			// The federation picks a replica at execution time, so depend
 			// on every local source hosting the table.
 			for _, loc := range s.fed.Dictionary().Lookup(t) {
-				deps = append(deps, qcache.Dep{Source: loc.Database, Table: t})
+				rp.deps = append(rp.deps, qcache.Dep{Source: loc.Database, Table: t})
 			}
 			continue
 		}
 		s.stats.RLSLookups.Add(1)
 		servers, err := s.cfg.RLS.LookupContext(ctx, t)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		// Never forward to ourselves (stale RLS entries).
 		servers = without(servers, s.cfg.URL)
 		if len(servers) == 0 {
-			return nil, nil, fmt.Errorf("dataaccess: table %q is not registered locally and the RLS knows no server for it", t)
+			return nil, fmt.Errorf("dataaccess: table %q is not registered locally and the RLS knows no server for it", t)
 		}
-		remoteHost[t] = servers[0]
-		deps = append(deps, qcache.Dep{Source: remoteDepPrefix + servers[0], Table: t})
+		rp.remoteHost[t] = servers[0]
+		rp.deps = append(rp.deps, qcache.Dep{Source: remoteDepPrefix + servers[0], Table: t})
 	}
-
-	// All tables on one remote server: forward the whole query there.
-	if len(local) == 0 {
+	if len(rp.local) == 0 {
 		single := ""
 		same := true
-		for _, url := range remoteHost {
+		for _, url := range rp.remoteHost {
 			if single == "" {
 				single = url
 			} else if single != url {
@@ -453,44 +467,74 @@ func (s *Service) queryWithRemote(ctx context.Context, sqlText string, params []
 				break
 			}
 		}
-		if same && len(params) == 0 {
-			rs, err := s.forward(ctx, single, sqlText)
-			if err != nil {
-				return nil, nil, err
-			}
-			s.stats.Forwarded.Add(1)
-			return &QueryResult{ResultSet: rs, Route: RouteRemote, Servers: 2}, deps, nil
+		if same {
+			rp.singleURL = single
 		}
 	}
+	return rp, nil
+}
 
-	// Mixed: fetch each table (local federation or remote server), then
-	// integrate on a scratch engine with the original query.
-	scratch := sqlengine.NewEngine("dataaccess-scratch", sqlengine.DialectANSI)
-	serversTouched := map[string]bool{}
-	for _, t := range tables {
-		fetch := unity.RemoteFetchSQL(sel, t)
-		var rs *sqlengine.ResultSet
-		var err error
-		if local[t] {
-			rs, err = s.fed.QueryContext(ctx, fetch)
-		} else {
-			rs, err = s.forward(ctx, remoteHost[t], fetch)
-			serversTouched[remoteHost[t]] = true
-		}
+// queryWithRemote handles queries touching tables this instance does not
+// host: RLS lookup, then either whole-query forwarding (all tables on one
+// remote server) or per-table fetch + local integration.
+func (s *Service) queryWithRemote(ctx context.Context, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+	rp, err := s.resolveRemoteTables(ctx, sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.queryWithRemoteResolved(ctx, rp, sqlText, params)
+}
+
+// queryWithRemoteResolved executes a resolved remote plan materialized.
+// The whole-forward shape transfers the result in one response; the mixed
+// shape streams each table — remote ones through a cursor relay when the
+// peer supports it — into unity's integration engine, so partial results
+// are never held twice on this server.
+func (s *Service) queryWithRemoteResolved(ctx context.Context, rp *remotePlan, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+	// All tables on one remote server: forward the whole query there.
+	if rp.singleURL != "" && len(params) == 0 {
+		rs, err := s.forward(ctx, rp.singleURL, sqlText)
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := loadScratch(scratch, t, rs); err != nil {
-			return nil, nil, err
+		s.stats.Forwarded.Add(1)
+		return &QueryResult{ResultSet: rs, Route: RouteRemote, Servers: 2}, rp.deps, nil
+	}
+
+	// Mixed: stream each table (local federation or remote relay) into
+	// the integration engine and run the original query over it.
+	loads := make([]unity.StreamLoad, 0, len(rp.tables))
+	closeLoads := func() {
+		for _, ld := range loads {
+			ld.Iter.Close()
 		}
 	}
-	sess := scratch.NewSession()
-	rs, _, err := sess.RunStmt(sel, params)
+	serversTouched := map[string]bool{}
+	for _, t := range rp.tables {
+		fetch := unity.RemoteFetchSQL(rp.sel, t)
+		var it sqlengine.RowIter
+		if rp.local[t] {
+			var err error
+			it, _, err = s.fed.QueryStreamContext(ctx, fetch)
+			if err != nil {
+				closeLoads()
+				return nil, nil, err
+			}
+		} else {
+			// Lazy: the peer-side cursor opens when this table's load is
+			// consumed, not now — earlier tables may take longer to
+			// integrate than the peer's idle-cursor TTL.
+			it = s.tableStreamFromRemote(ctx, rp.remoteHost[t], fetch)
+			serversTouched[rp.remoteHost[t]] = true
+		}
+		loads = append(loads, unity.StreamLoad{Logical: t, Iter: it})
+	}
+	rs, err := unity.IntegrateIters(ctx, rp.sel, loads, params)
 	if err != nil {
-		return nil, nil, fmt.Errorf("dataaccess: integration: %w", err)
+		return nil, nil, err
 	}
 	s.stats.Mixed.Add(1)
-	return &QueryResult{ResultSet: rs, Route: RouteMixed, Servers: 1 + len(serversTouched)}, deps, nil
+	return &QueryResult{ResultSet: rs, Route: RouteMixed, Servers: 1 + len(serversTouched)}, rp.deps, nil
 }
 
 func without(ss []string, drop string) []string {
@@ -501,30 +545,6 @@ func without(ss []string, drop string) []string {
 		}
 	}
 	return out
-}
-
-// loadScratch creates a scratch table named t with columns inferred from
-// the result set and loads the rows.
-func loadScratch(scratch *sqlengine.Engine, t string, rs *sqlengine.ResultSet) error {
-	cols := make([]sqlengine.ColumnDef, len(rs.Columns))
-	for i, c := range rs.Columns {
-		kind := sqlengine.KindString
-		for _, row := range rs.Rows {
-			if i < len(row) && !row[i].IsNull() {
-				kind = row[i].Kind
-				break
-			}
-		}
-		cols[i] = sqlengine.ColumnDef{Name: strings.ToLower(c), Type: sqlengine.ColumnType{Kind: kind}}
-	}
-	if len(cols) == 0 {
-		return fmt.Errorf("dataaccess: remote table %q returned no columns", t)
-	}
-	if _, err := scratch.Exec(sqlengine.DialectANSI.CreateTableSQL(t, cols, nil)); err != nil {
-		return err
-	}
-	_, err := scratch.InsertRows(t, rs.Rows)
-	return err
 }
 
 // remotePeer is one remembered remote JClarens instance plus the outcome
@@ -546,6 +566,17 @@ func decodeForwardResult(d *clarens.Decoder) (interface{}, error) {
 	return DecodeResultFrom(d)
 }
 
+// sourceCall derives the context for one remote per-source operation: the
+// configured SourceBudget is layered on top of the caller's deadline, so a
+// stuck peer is cut off after the budget even when the overall request has
+// (or needs) a much longer allowance.
+func (s *Service) sourceCall(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.SourceBudget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.SourceBudget)
+}
+
 // forward sends a query to a remote JClarens instance over XML-RPC.
 // Server↔server transfers use the negotiated binary row framing when the
 // peer advertises it (system.capabilities), transparently falling back to
@@ -554,6 +585,8 @@ func decodeForwardResult(d *clarens.Decoder) (interface{}, error) {
 // request; the remote server sees the disconnect and cancels its own
 // backend work in turn.
 func (s *Service) forward(ctx context.Context, serverURL, sqlText string) (*sqlengine.ResultSet, error) {
+	ctx, cancel := s.sourceCall(ctx)
+	defer cancel()
 	p := s.remotePeer(serverURL)
 	if s.peerSpeaksBinary(ctx, p) {
 		res, err := p.c.CallDecodeContext(ctx, "dataaccess.queryb", decodeForwardResult, sqlText)

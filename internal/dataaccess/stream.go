@@ -61,10 +61,16 @@ func (s *Service) QueryStream(sqlText string, params ...sqlengine.Value) (*Strea
 // route, and return an incremental row stream instead of a materialized
 // result set. Single-source scans — the POOL-RAL route and Unity pushdown
 // plans, the shape of the paper's large Fig-6 scans — stream straight off
-// the backend with bounded buffering; decomposed and remote queries must
-// integrate partial results first, so they execute materialized and
-// stream from memory. Cancelling ctx (or closing the stream) stops the
-// producing backend query mid-scan.
+// the backend with bounded buffering. A query whose tables all live on
+// one remote server streams through a cursor-to-cursor relay: a cursor is
+// opened on the peer and pulled page by page, so no server on the path
+// materializes the scan (peers without cursor support fall back to a
+// materialized forward). Decomposed and mixed multi-server queries must
+// integrate partial results first; their *inputs* stream incrementally
+// into the integration engine (remote ones relayed), and the integrated
+// result then streams from memory. Cancelling ctx (or closing the stream)
+// stops the producing backend query mid-scan — across servers, closing a
+// relayed stream closes the remote cursor.
 //
 // Cache interplay: a resident entry is served (from memory) without
 // touching a backend. A cache miss fills the cache only while the
@@ -98,17 +104,7 @@ func (s *Service) QueryStreamContext(ctx context.Context, sqlText string, params
 	case err == nil:
 		return s.streamLocal(ctx, key, sqlText, plan, params, epoch)
 	case errors.As(err, &unknown):
-		qr, deps, err := s.queryWithRemote(ctx, sqlText, params)
-		if err != nil {
-			return nil, err
-		}
-		s.streamCacheFill(key, qr, deps, epoch)
-		return &StreamResult{
-			cols:    qr.Columns,
-			Route:   qr.Route,
-			Servers: qr.Servers,
-			iter:    sqlengine.SliceIter(qr.ResultSet),
-		}, nil
+		return s.streamWithRemote(ctx, key, sqlText, params, epoch)
 	default:
 		return nil, err
 	}
@@ -133,7 +129,7 @@ func (s *Service) streamLocal(ctx context.Context, key, sqlText string, plan *un
 				for i, t := range plan.Tables {
 					deps[i] = qcache.Dep{Source: parts.Source, Table: t}
 				}
-				return s.wrapStream(it, RoutePOOLRAL, key, deps, epoch), nil
+				return s.wrapStream(it, RoutePOOLRAL, 1, key, deps, epoch), nil
 			}
 		}
 	}
@@ -142,14 +138,15 @@ func (s *Service) streamLocal(ctx context.Context, key, sqlText string, plan *un
 		return nil, err
 	}
 	s.stats.Unity.Add(1)
-	return s.wrapStream(it, RouteUnity, key, planDeps(plan), epoch), nil
+	return s.wrapStream(it, RouteUnity, 1, key, planDeps(plan), epoch), nil
 }
 
-// wrapStream builds the StreamResult for a local producer, inserting the
-// cache-fill tee when the cache can possibly admit the result. epoch is
-// the invalidation epoch snapshotted before the producer started.
-func (s *Service) wrapStream(it sqlengine.RowIter, route Route, key string, deps []qcache.Dep, epoch int64) *StreamResult {
-	sr := &StreamResult{cols: it.Columns(), Route: route, Servers: 1, iter: it}
+// wrapStream builds the StreamResult for an incremental producer (local
+// backend or cursor relay), inserting the cache-fill tee when the cache
+// can possibly admit the result. epoch is the invalidation epoch
+// snapshotted before the producer started.
+func (s *Service) wrapStream(it sqlengine.RowIter, route Route, servers int, key string, deps []qcache.Dep, epoch int64) *StreamResult {
+	sr := &StreamResult{cols: it.Columns(), Route: route, Servers: servers, iter: it}
 	if s.cache == nil {
 		return sr
 	}
@@ -160,14 +157,15 @@ func (s *Service) wrapStream(it sqlengine.RowIter, route Route, key string, deps
 		return sr
 	}
 	sr.iter = &cacheFillIter{
-		inner: it,
-		svc:   s,
-		key:   key,
-		deps:  deps,
-		route: route,
-		epoch: epoch,
-		limit: limit,
-		acc:   &sqlengine.ResultSet{Columns: it.Columns()},
+		inner:   it,
+		svc:     s,
+		key:     key,
+		deps:    deps,
+		route:   route,
+		servers: servers,
+		epoch:   epoch,
+		limit:   limit,
+		acc:     &sqlengine.ResultSet{Columns: it.Columns()},
 	}
 	return sr
 }
@@ -189,16 +187,17 @@ func (s *Service) streamCacheFill(key string, qr *QueryResult, deps []qcache.Dep
 // dropped and the stream continues uncached. The consumer's view of the
 // rows is unaffected either way.
 type cacheFillIter struct {
-	inner sqlengine.RowIter
-	svc   *Service
-	key   string
-	deps  []qcache.Dep
-	route Route
-	epoch int64
-	limit int64
-	acc   *sqlengine.ResultSet // nil once the copy is abandoned
-	bytes int64
-	done  bool
+	inner   sqlengine.RowIter
+	svc     *Service
+	key     string
+	deps    []qcache.Dep
+	route   Route
+	servers int
+	epoch   int64
+	limit   int64
+	acc     *sqlengine.ResultSet // nil once the copy is abandoned
+	bytes   int64
+	done    bool
 }
 
 func (it *cacheFillIter) Columns() []string { return it.inner.Columns() }
@@ -208,7 +207,7 @@ func (it *cacheFillIter) Next() (sqlengine.Row, error) {
 	if err == io.EOF {
 		if it.acc != nil && !it.done {
 			it.done = true
-			qr := &QueryResult{ResultSet: it.acc, Route: it.route, Servers: 1}
+			qr := &QueryResult{ResultSet: it.acc, Route: it.route, Servers: it.servers}
 			it.svc.cache.PutChecked(it.key, qr, it.deps, it.epoch)
 		}
 		return nil, io.EOF

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/rls"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// RelayQuery is the federated-scan shape measured by the relay
+// experiment: an unfiltered scan of a table hosted on *another* JClarens
+// server, reached through the RLS.
+const RelayQuery = "SELECT event_id, run, e_tot FROM relay_events"
+
+// RelayRow is the relayed-versus-materialized-forward datapoint
+// cmd/benchrepro writes to BENCH_relay.json. The headline metric is the
+// forwarder's peak live heap while the remote scan is in its hands: a
+// materialized forward must hold the whole remote result, so its peak
+// grows with the row count; a cursor relay holds one page, so its peak
+// stays roughly flat however large the remote table grows.
+type RelayRow struct {
+	// Rows is the remote table's row count.
+	Rows int `json:"rows"`
+	// ForwardNsOp / ForwardPeakBytes measure the materialized forward
+	// (QueryContext): total latency, and the forwarder's live heap growth
+	// with the full result resident.
+	ForwardNsOp      int64 `json:"forward_ns_op"`
+	ForwardPeakBytes int64 `json:"forward_peak_bytes"`
+	// RelayNsOp / RelayPeakBytes measure the cursor relay (QueryStream
+	// drained row by row): total latency, and the forwarder's live heap
+	// growth sampled mid-drain — the steady state of a relayed scan.
+	RelayNsOp      int64 `json:"relay_ns_op"`
+	RelayPeakBytes int64 `json:"relay_peak_bytes"`
+	// RelayFetches is how many pages the relay pulled off the peer.
+	RelayFetches int64 `json:"relay_fetches"`
+	// Identical reports that the relayed rows were byte-identical (under
+	// the binary row codec) to the materialized forward's.
+	Identical bool `json:"identical"`
+}
+
+var relaySeq atomic.Int64
+
+// relayGenDriver is a lazily-generating database/sql driver standing in
+// for the host's backend database: rows are synthesized one at a time as
+// the consumer pulls, never materialized. Both servers of the testbed run
+// in one process, so liveHeap sees host + forwarder together; a lazy
+// backend keeps the host's side flat, which is exactly what a real
+// external database gives a JClarens host — the measured growth is then
+// attributable to how the *transfer* buffers, the thing the experiment
+// compares.
+type relayGenDriver struct{ total int }
+
+func (d *relayGenDriver) Open(string) (driver.Conn, error) { return &relayGenConn{d: d}, nil }
+
+type relayGenConn struct{ d *relayGenDriver }
+
+func (c *relayGenConn) Prepare(string) (driver.Stmt, error) {
+	return nil, errors.New("relaygen: prepare unsupported")
+}
+func (c *relayGenConn) Close() error { return nil }
+func (c *relayGenConn) Begin() (driver.Tx, error) {
+	return nil, errors.New("relaygen: no transactions")
+}
+
+func (c *relayGenConn) QueryContext(_ context.Context, _ string, _ []driver.NamedValue) (driver.Rows, error) {
+	return &relayGenRows{total: c.d.total}, nil
+}
+
+type relayGenRows struct{ total, pos int }
+
+func (r *relayGenRows) Columns() []string { return []string{"event_id", "run", "e_tot"} }
+func (r *relayGenRows) Close() error      { return nil }
+func (r *relayGenRows) Next(dest []driver.Value) error {
+	if r.pos >= r.total {
+		return io.EOF
+	}
+	i := r.pos
+	r.pos++
+	dest[0] = int64(i + 1)
+	dest[1] = int64(100 + i%7)
+	dest[2] = float64(i) + 0.5
+	return nil
+}
+
+// relayTestbed builds a two-server deployment: host serves relay_events
+// (n lazily generated rows), fwd hosts nothing and reaches the table
+// through the RLS. Caches are off so every path hits the backend.
+func relayTestbed(n int) (fwd *dataaccess.Service, cleanup func(), err error) {
+	drvName := fmt.Sprintf("relaygen%d", relaySeq.Add(1))
+	sql.Register(drvName, &relayGenDriver{total: n})
+	spec := &xspec.LowerSpec{
+		Name:    "relaysrc_" + drvName,
+		Dialect: "ansi",
+		Tables: []xspec.TableSpec{{
+			Name: "relay_events", Logical: "relay_events",
+			Columns: []xspec.ColumnSpec{
+				{Name: "event_id", Logical: "event_id", Kind: "INTEGER"},
+				{Name: "run", Logical: "run", Kind: "INTEGER"},
+				{Name: "e_tot", Logical: "e_tot", Kind: "DOUBLE"},
+			},
+		}},
+	}
+	ref := xspec.SourceRef{Name: spec.Name, URL: "relaygen://" + drvName, Driver: drvName}
+
+	var closers []func()
+	fail := func(err error) (*dataaccess.Service, func(), error) {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		return nil, nil, err
+	}
+	catalog := rls.NewServer(0)
+	rlsURL, err := catalog.Start("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, func() { catalog.Close() })
+
+	mk := func(name string) (*dataaccess.Service, error) {
+		svc := dataaccess.New(dataaccess.Config{Name: name, RLS: rls.NewClient(rlsURL)})
+		front := clarens.NewServer(true)
+		svc.RegisterMethods(front)
+		url, err := front.Start("127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			return nil, err
+		}
+		svc.SetURL(url)
+		closers = append(closers, func() { svc.Close(); front.Close() })
+		return svc, nil
+	}
+	host, err := mk("relay-host")
+	if err != nil {
+		return fail(err)
+	}
+	if err := host.AddDatabase(ref, spec, "", ""); err != nil {
+		return fail(err)
+	}
+	fwd, err = mk("relay-fwd")
+	if err != nil {
+		return fail(err)
+	}
+	cleanup = func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	return fwd, cleanup, nil
+}
+
+// liveHeap forces a collection and returns the live heap size — the
+// "what must this server actually hold" number peak comparisons need,
+// insensitive to allocation churn between GCs.
+func liveHeap() int64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return int64(m.HeapAlloc)
+}
+
+// RunRelay measures RelayQuery over a remote table of n rows, repeats
+// times per path, through the materialized forward (QueryContext) and the
+// cursor relay (QueryStreamContext drained row by row), and averages the
+// datapoints. A final differential pass checks the two paths produce
+// byte-identical rows.
+func RunRelay(n, repeats int) (RelayRow, error) {
+	if n <= 0 {
+		n = 2000
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	fwd, cleanup, err := relayTestbed(n)
+	if err != nil {
+		return RelayRow{}, err
+	}
+	defer cleanup()
+	ctx := context.Background()
+
+	row := RelayRow{Rows: n}
+	for i := 0; i < repeats; i++ {
+		base := liveHeap()
+		t0 := time.Now()
+		qr, err := fwd.QueryContext(ctx, RelayQuery)
+		if err != nil {
+			return row, fmt.Errorf("materialized forward: %w", err)
+		}
+		elapsed := time.Since(t0)
+		if len(qr.Rows) != n {
+			return row, fmt.Errorf("materialized forward returned %d rows, want %d", len(qr.Rows), n)
+		}
+		// Sample with the whole remote result still resident — the state a
+		// materialized forwarder is in for the entire transfer.
+		peak := liveHeap() - base
+		runtime.KeepAlive(qr)
+		if peak < 0 {
+			peak = 0
+		}
+		row.ForwardNsOp += elapsed.Nanoseconds()
+		row.ForwardPeakBytes += peak
+	}
+
+	for i := 0; i < repeats; i++ {
+		base := liveHeap()
+		t0 := time.Now()
+		sr, err := fwd.QueryStreamContext(ctx, RelayQuery)
+		if err != nil {
+			return row, fmt.Errorf("relayed scan: %w", err)
+		}
+		got := 0
+		var peak int64
+		for {
+			r, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				sr.Close()
+				return row, fmt.Errorf("relayed scan: %w", err)
+			}
+			got++
+			if got == n/2 {
+				// Mid-drain live heap: the relay's steady state.
+				peak = liveHeap() - base
+			}
+			_ = r
+		}
+		sr.Close()
+		elapsed := time.Since(t0)
+		if got != n {
+			return row, fmt.Errorf("relayed scan returned %d rows, want %d", got, n)
+		}
+		if peak < 0 {
+			peak = 0
+		}
+		row.RelayNsOp += elapsed.Nanoseconds()
+		row.RelayPeakBytes += peak
+	}
+	div := int64(repeats)
+	// The counter is cumulative over the repeats; publish one run's worth
+	// so rows/relay_fetches reflects the actual page size.
+	row.RelayFetches = fwd.CursorStats().RelayFetches / div
+	row.ForwardNsOp /= div
+	row.ForwardPeakBytes /= div
+	row.RelayNsOp /= div
+	row.RelayPeakBytes /= div
+
+	// Differential check: the relayed rows must be byte-identical to the
+	// materialized forward's under the binary row codec.
+	qr, err := fwd.QueryContext(ctx, RelayQuery)
+	if err != nil {
+		return row, err
+	}
+	sr, err := fwd.QueryStreamContext(ctx, RelayQuery)
+	if err != nil {
+		return row, err
+	}
+	var relayed []sqlengine.Row
+	if err := sr.ForEach(func(r sqlengine.Row) error {
+		relayed = append(relayed, r)
+		return nil
+	}); err != nil {
+		return row, err
+	}
+	row.Identical = bytes.Equal(
+		dataaccess.EncodeRowsBinary(qr.Rows),
+		dataaccess.EncodeRowsBinary(relayed),
+	)
+	return row, nil
+}

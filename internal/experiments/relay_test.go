@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestRunRelaySmoke exercises the relay experiment end to end at a small
+// scale: both paths must return the full remote result, byte-identically.
+func TestRunRelaySmoke(t *testing.T) {
+	row, err := RunRelay(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Rows != 400 {
+		t.Fatalf("rows = %d, want 400", row.Rows)
+	}
+	if !row.Identical {
+		t.Fatal("relayed rows differ from the materialized forward")
+	}
+	if row.RelayFetches == 0 {
+		t.Fatal("relay pulled no pages — did the stream route around the relay?")
+	}
+	if row.ForwardNsOp <= 0 || row.RelayNsOp <= 0 {
+		t.Fatalf("timings forward=%d relay=%d, want > 0", row.ForwardNsOp, row.RelayNsOp)
+	}
+}

@@ -1,27 +1,3 @@
-// Package qcache is the query-result cache of the data access layer: a
-// sharded, TTL'd LRU keyed by the normalized query text (plus parameter
-// fingerprint), with singleflight collapsing of concurrent identical
-// queries and per-entry (source, table) dependency fingerprints so that a
-// schema change or mart re-materialization evicts exactly the entries
-// that read from the changed database — nothing more.
-//
-// The cache is deliberately ignorant of SQL: callers hand it an opaque
-// key, a value, and the set of (source, table) pairs the value was
-// computed from. Invalidation walks a reverse index from dependency to
-// keys, so InvalidateSource / InvalidateTable are O(dependent entries),
-// not O(cache size).
-//
-// Memory is bounded two ways: by entry count (MaxEntries) and — when
-// MaxBytes and a SizeOf estimator are configured — by estimated resident
-// bytes, with LRU eviction against both caps and an admission policy
-// (MaxEntryFraction) that refuses any single result set large enough to
-// dominate the cache instead of letting it evict everything else.
-//
-// Do is context-aware with singleflight-detached semantics: a caller
-// abandoning a coalesced wait gets its ctx.Err() back promptly without
-// cancelling the shared computation, which keeps running for the other
-// waiters; only when the last waiter departs is the computation itself
-// cancelled.
 package qcache
 
 import (

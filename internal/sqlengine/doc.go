@@ -1,0 +1,20 @@
+// Package sqlengine implements a small, self-contained relational database
+// engine used as the substrate for the gridrdb middleware. It provides an
+// SQL lexer, parser, planner and executor over an in-memory (optionally
+// file-persisted) row store, together with per-vendor SQL dialects that
+// emulate the surface differences between Oracle, MySQL, Microsoft SQL
+// Server and SQLite. The grid middleware layers (POOL-RAL, Unity, the data
+// access service) treat each Engine instance as an independent database
+// server.
+//
+// Results flow through two shapes. A ResultSet is a fully materialized
+// answer: column names plus a slice of rows of dynamically-typed Values.
+// A RowIter is the incremental counterpart — rows are produced one at a
+// time as the consumer pulls, so a scan larger than memory can be paged,
+// teed, or abandoned without the producer ever holding the whole result;
+// SliceIter and Drain convert between the two. The streaming layers built
+// above this package (unity pushdown plans, the data access layer's
+// cursor registry and its cursor-to-cursor relay between Clarens servers)
+// all speak RowIter, which is what keeps per-scan memory bounded by a
+// fetch size from the backend row store to the remotest client.
+package sqlengine

@@ -1,11 +1,3 @@
-// Package sqlengine implements a small, self-contained relational database
-// engine used as the substrate for the gridrdb middleware. It provides an
-// SQL lexer, parser, planner and executor over an in-memory (optionally
-// file-persisted) row store, together with per-vendor SQL dialects that
-// emulate the surface differences between Oracle, MySQL, Microsoft SQL
-// Server and SQLite. The grid middleware layers (POOL-RAL, Unity, the data
-// access service) treat each Engine instance as an independent database
-// server.
 package sqlengine
 
 import (

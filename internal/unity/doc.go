@@ -1,0 +1,30 @@
+// Package unity reimplements (and extends) the Unity database-integration
+// driver the paper used as its baseline (§3, §4.6). A Federation is built
+// from XSpec metadata: the upper-level spec lists the member databases
+// (URL + driver + lower spec) and the lower-level specs provide the
+// logical data dictionary. Clients submit ordinary SQL written against
+// *logical* table and column names; the federation maps logical names to
+// physical ones, decomposes the query into per-database sub-queries
+// rendered in each backend's vendor dialect, executes them — in parallel,
+// one of the paper's enhancements over stock Unity — and integrates the
+// partial results, applying cross-database joins, into a single result
+// ("merged into a single 2-D vector, and returned to the client").
+//
+// The second paper enhancement, load distribution, is also here: when a
+// logical table is replicated on several databases the federation routes
+// each sub-query to the least-loaded replica, with network-proximity
+// costs (SetSourceCost) breaking the tie first.
+//
+// Execution comes in two shapes. ExecuteContext materializes: pushdown
+// plans run whole on one member database, while decomposed plans
+// scatter-gather their per-table sub-queries over a bounded worker pool
+// (MaxParallel, optionally bounded per sub-query by SourceBudget) and
+// integrate on a scratch engine — each partial result streams into its
+// scratch table in small batches rather than materializing twice.
+// ExecuteStreamContext returns an incremental sqlengine.RowIter instead:
+// pushdown plans stream straight off the backend cursor, so a scan larger
+// than memory can be paged by the consumer. IntegrateIters exposes the
+// decomposed-plan integration step over caller-supplied row streams; the
+// data access layer feeds it cursor relays from remote Clarens servers so
+// federated joins consume remote streams incrementally too.
+package unity

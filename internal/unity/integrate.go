@@ -1,0 +1,186 @@
+package unity
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// integrateBatch is the scratch-load granularity: rows are pulled from an
+// incremental producer and inserted into the integration engine this many
+// at a time, so the memory held beyond the scratch tables themselves is
+// one batch per in-flight load, never a second full copy of a partial
+// result.
+const integrateBatch = 256
+
+// StreamLoad pairs one logical table with the incremental row stream that
+// feeds it during integration. The stream may come from a local member
+// database or — in the data access layer's federated path — from a cursor
+// relay pulling pages off a remote Clarens server.
+type StreamLoad struct {
+	// Logical is the table name the integration statement references.
+	Logical string
+	// Iter produces the table's rows; IntegrateIters closes it.
+	Iter sqlengine.RowIter
+}
+
+// IntegrateIters runs the final integration step of a decomposed plan over
+// incremental inputs: each load streams into a scratch table in bounded
+// batches and the original statement then executes locally over the loaded
+// tables. Column kinds are inferred from each stream's prefix — rows are
+// buffered until every column has produced a non-null sample (the same
+// first-non-null rule the materialized integration applied), so a typed
+// column that starts with a run of NULLs is still created under its real
+// kind; a column that is null for the entire stream defaults to string.
+// All iterators are closed before return, on success and error alike; the
+// first failing load aborts the rest.
+func IntegrateIters(ctx context.Context, sel *sqlengine.SelectStmt, loads []StreamLoad, params []sqlengine.Value) (*sqlengine.ResultSet, error) {
+	defer func() {
+		for _, ld := range loads {
+			ld.Iter.Close()
+		}
+	}()
+	scratch := sqlengine.NewEngine("unity-scratch", sqlengine.DialectANSI)
+	for _, ld := range loads {
+		if err := loadTableFromIter(ctx, scratch, ld.Logical, nil, ld.Iter); err != nil {
+			return nil, err
+		}
+	}
+	sess := scratch.NewSession()
+	rs, _, err := sess.RunStmt(sel, params)
+	if err != nil {
+		return nil, fmt.Errorf("unity: integration: %w", err)
+	}
+	return rs, nil
+}
+
+// specColumnDefs derives scratch column definitions from a table spec; an
+// empty spec returns nil, selecting first-batch inference in
+// loadTableFromIter.
+func specColumnDefs(spec xspec.TableSpec) []sqlengine.ColumnDef {
+	defs := make([]sqlengine.ColumnDef, 0, len(spec.Columns))
+	for _, c := range spec.Columns {
+		logical := strings.ToLower(c.Logical)
+		if logical == "" {
+			logical = strings.ToLower(c.Name)
+		}
+		defs = append(defs, sqlengine.ColumnDef{Name: logical, Type: sqlengine.ColumnType{Kind: kindFromName(c.Kind)}})
+	}
+	return defs
+}
+
+// loadTableFromIter streams one producer into a scratch table in
+// integrateBatch-row batches, checking ctx between rows so a cancelled
+// integration stops pulling promptly. defs may carry spec-derived column
+// definitions; when empty they are inferred from the stream itself: rows
+// are buffered until every column has yielded a non-null sample (or the
+// stream ends), exactly the first-non-null rule the old materialized
+// integration applied over the whole result. The prefix buffer is
+// typically a handful of rows; a column that is null for the entire
+// stream re-buffers what the scratch table would hold anyway, so peak
+// memory never exceeds the materialized path it replaced. The iterator is
+// not closed here — callers own its lifecycle.
+func loadTableFromIter(ctx context.Context, scratch *sqlengine.Engine, logical string, defs []sqlengine.ColumnDef, it sqlengine.RowIter) error {
+	var prefix []sqlengine.Row
+	eof := false
+	if len(defs) == 0 {
+		cols := it.Columns()
+		if len(cols) == 0 {
+			// Lazily-opened streams (remote cursor relays) learn their
+			// columns only after a successful open; pull one row to force
+			// it, so a failed open surfaces as its real transport error
+			// rather than a misleading "produced no columns".
+			row, err := it.Next()
+			if err != nil && err != io.EOF {
+				return err
+			}
+			if err == io.EOF {
+				eof = true
+			} else {
+				prefix = append(prefix, row)
+			}
+			cols = it.Columns()
+		}
+		kinds := make([]sqlengine.Kind, len(cols))
+		known := 0
+		note := func(row sqlengine.Row) {
+			for i := range kinds {
+				if kinds[i] == sqlengine.KindNull && i < len(row) && !row[i].IsNull() {
+					kinds[i] = row[i].Kind
+					known++
+				}
+			}
+		}
+		for _, row := range prefix {
+			note(row)
+		}
+		for !eof && known < len(cols) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			row, err := it.Next()
+			if err == io.EOF {
+				eof = true
+				break
+			}
+			if err != nil {
+				return err
+			}
+			note(row)
+			prefix = append(prefix, row)
+		}
+		defs = make([]sqlengine.ColumnDef, len(cols))
+		for i, c := range cols {
+			kind := kinds[i]
+			if kind == sqlengine.KindNull {
+				kind = sqlengine.KindString // never sampled: everything coerces to string
+			}
+			defs[i] = sqlengine.ColumnDef{Name: strings.ToLower(c), Type: sqlengine.ColumnType{Kind: kind}}
+		}
+	}
+	if len(defs) == 0 {
+		return fmt.Errorf("unity: table %q produced no columns", logical)
+	}
+	if _, err := scratch.Exec(sqlengine.DialectANSI.CreateTableSQL(logical, defs, nil)); err != nil {
+		return fmt.Errorf("unity: scratch table %s: %w", logical, err)
+	}
+	// Flush the inference prefix in bounded chunks, releasing as we go.
+	for len(prefix) > 0 {
+		n := integrateBatch
+		if n > len(prefix) {
+			n = len(prefix)
+		}
+		if _, err := scratch.InsertRows(logical, prefix[:n]); err != nil {
+			return fmt.Errorf("unity: scratch load %s: %w", logical, err)
+		}
+		prefix = prefix[n:]
+	}
+	batch := make([]sqlengine.Row, 0, integrateBatch)
+	for !eof {
+		batch = batch[:0]
+		for len(batch) < integrateBatch {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			row, err := it.Next()
+			if err == io.EOF {
+				eof = true
+				break
+			}
+			if err != nil {
+				return err
+			}
+			batch = append(batch, row)
+		}
+		if len(batch) > 0 {
+			if _, err := scratch.InsertRows(logical, batch); err != nil {
+				return fmt.Errorf("unity: scratch load %s: %w", logical, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package unity
+
+import (
+	"context"
+	"testing"
+
+	"gridrdb/internal/sqlengine"
+)
+
+// TestIntegrateItersLateTypedColumn guards the inference rule: a column
+// that is NULL for well past the first insert batch but typed later must
+// still be created under its real kind. Under a (wrong) string column,
+// the numeric predicate below evaluates lexically ("10" < "9") and
+// silently returns the wrong rows.
+func TestIntegrateItersLateTypedColumn(t *testing.T) {
+	rows := make([]sqlengine.Row, 0, 320)
+	for i := 0; i < 300; i++ {
+		rows = append(rows, sqlengine.Row{sqlengine.Null(), sqlengine.NewInt(int64(i))})
+	}
+	for i := 1; i <= 20; i++ {
+		rows = append(rows, sqlengine.Row{sqlengine.NewInt(int64(i + 8)), sqlengine.NewInt(int64(300 + i))})
+	}
+	rs := &sqlengine.ResultSet{Columns: []string{"a", "id"}, Rows: rows}
+
+	st, err := sqlengine.NewParser(sqlengine.DialectANSI).ParseStatement("SELECT id FROM t WHERE a > 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := IntegrateIters(context.Background(), st.(*sqlengine.SelectStmt),
+		[]StreamLoad{{Logical: "t", Iter: sqlengine.SliceIter(rs)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a takes values 9..28; a > 9 matches 19 rows. A string-typed column
+	// would match none of them.
+	if len(out.Rows) != 19 {
+		t.Fatalf("a > 9 matched %d rows, want 19 (late-typed column stored as string?)", len(out.Rows))
+	}
+}
+
+// TestIntegrateItersAllNullColumn: a column with no non-null sample in
+// the entire stream falls back to string and still integrates.
+func TestIntegrateItersAllNullColumn(t *testing.T) {
+	rows := make([]sqlengine.Row, 0, 600)
+	for i := 0; i < 600; i++ {
+		rows = append(rows, sqlengine.Row{sqlengine.Null(), sqlengine.NewInt(int64(i))})
+	}
+	rs := &sqlengine.ResultSet{Columns: []string{"a", "id"}, Rows: rows}
+	st, err := sqlengine.NewParser(sqlengine.DialectANSI).ParseStatement("SELECT id FROM t WHERE a IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := IntegrateIters(context.Background(), st.(*sqlengine.SelectStmt),
+		[]StreamLoad{{Logical: "t", Iter: sqlengine.SliceIter(rs)}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 600 {
+		t.Fatalf("IS NULL matched %d rows, want 600", len(out.Rows))
+	}
+}

@@ -1,18 +1,3 @@
-// Package unity reimplements (and extends) the Unity database-integration
-// driver the paper used as its baseline (§3, §4.6). A Federation is built
-// from XSpec metadata: the upper-level spec lists the member databases
-// (URL + driver + lower spec) and the lower-level specs provide the
-// logical data dictionary. Clients submit ordinary SQL written against
-// *logical* table and column names; the federation maps logical names to
-// physical ones, decomposes the query into per-database sub-queries
-// rendered in each backend's vendor dialect, executes them — in parallel,
-// one of the paper's enhancements over stock Unity — and integrates the
-// partial results, applying cross-database joins, into a single result
-// ("merged into a single 2-D vector, and returned to the client").
-//
-// The second paper enhancement, load distribution, is also here: when a
-// logical table is replicated on several databases the federation routes
-// each sub-query to the least-loaded replica.
 package unity
 
 import (
@@ -73,6 +58,16 @@ type Federation struct {
 	// (2 x GOMAXPROCS, capped at 16). The bound keeps a wide federated
 	// query from opening one goroutine-plus-connection per mart at once.
 	MaxParallel int
+
+	// SourceBudget bounds each decomposed sub-query's execution — from
+	// dispatch until its partial result has fully streamed into the
+	// integration engine — independently of the caller's overall deadline,
+	// so one stuck member database cannot consume the whole request
+	// budget. 0 (the default) applies no per-source bound. Pushdown plans
+	// are not bounded by it: their stream is paced by the consumer, which
+	// may legitimately page a cursor for longer than any one source should
+	// be allowed to stall a scatter-gather.
+	SourceBudget time.Duration
 
 	rr atomic.Int64 // round-robin tiebreaker
 
@@ -761,9 +756,26 @@ func (f *Federation) ExecuteContext(ctx context.Context, plan *Plan, params ...s
 		return f.runOnSourceCtx(ctx, plan.pushSource, plan.Subs[0].SQL, params)
 	}
 
-	// Decomposed: fetch every table load (possibly in parallel), then
-	// integrate on a scratch engine.
-	results := make([]*sqlengine.ResultSet, len(plan.loads))
+	// Decomposed: stream every table load into the scratch integration
+	// engine (possibly in parallel), then run the original query locally.
+	// A partial result is never materialized outside its scratch table —
+	// each sub-query's rows flow from the member database into the
+	// integration engine in integrateBatch-row batches, so the peak memory
+	// beyond the (unavoidable) scratch tables is one batch per worker.
+	scratch := sqlengine.NewEngine("unity-scratch", sqlengine.DialectANSI)
+	loadOne := func(ctx context.Context, ld tableLoad) error {
+		if f.SourceBudget > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, f.SourceBudget)
+			defer cancel()
+		}
+		it, err := f.runOnSourceStreamCtx(ctx, ld.source, ld.sql, nil)
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		return loadTableFromIter(ctx, scratch, ld.logical, specColumnDefs(ld.spec), it)
+	}
 	if f.Parallel && len(plan.loads) > 1 {
 		ctx, cancel := context.WithCancel(ctx)
 		defer cancel()
@@ -781,15 +793,12 @@ func (f *Federation) ExecuteContext(ctx context.Context, plan *Plan, params ...s
 					if ctx.Err() != nil {
 						continue // a sibling failed; drain without executing
 					}
-					rs, err := f.runOnSourceCtx(ctx, plan.loads[i].source, plan.loads[i].sql, nil)
-					if err != nil {
+					if err := loadOne(ctx, plan.loads[i]); err != nil {
 						errOnce.Do(func() {
 							firstErr = err
 							cancel()
 						})
-						continue
 					}
-					results[i] = rs
 				}
 			}()
 		}
@@ -807,42 +816,14 @@ func (f *Federation) ExecuteContext(ctx context.Context, plan *Plan, params ...s
 			return nil, firstErr
 		}
 	} else {
-		for i, ld := range plan.loads {
-			rs, err := f.runOnSourceCtx(ctx, ld.source, ld.sql, nil)
-			if err != nil {
+		for _, ld := range plan.loads {
+			if err := loadOne(ctx, ld); err != nil {
 				return nil, err
 			}
-			results[i] = rs
 		}
 	}
 	f.subqueries.Add(int64(len(plan.loads)))
 
-	// Integration: materialize partial results as scratch tables under
-	// their logical names and run the original query locally.
-	scratch := sqlengine.NewEngine("unity-scratch", sqlengine.DialectANSI)
-	for i, ld := range plan.loads {
-		cols := make([]sqlengine.ColumnDef, 0, len(ld.spec.Columns))
-		for _, c := range ld.spec.Columns {
-			kind := kindFromName(c.Kind)
-			logical := strings.ToLower(c.Logical)
-			if logical == "" {
-				logical = strings.ToLower(c.Name)
-			}
-			cols = append(cols, sqlengine.ColumnDef{Name: logical, Type: sqlengine.ColumnType{Kind: kind}})
-		}
-		if len(cols) == 0 {
-			for _, cn := range results[i].Columns {
-				cols = append(cols, sqlengine.ColumnDef{Name: strings.ToLower(cn), Type: sqlengine.ColumnType{Kind: sqlengine.KindString}})
-			}
-		}
-		ddl := sqlengine.DialectANSI.CreateTableSQL(ld.logical, cols, nil)
-		if _, err := scratch.Exec(ddl); err != nil {
-			return nil, fmt.Errorf("unity: scratch table %s: %w", ld.logical, err)
-		}
-		if _, err := scratch.InsertRows(ld.logical, results[i].Rows); err != nil {
-			return nil, fmt.Errorf("unity: scratch load %s: %w", ld.logical, err)
-		}
-	}
 	sess := scratch.NewSession()
 	rs, _, err := sess.RunStmt(plan.sel, params)
 	if err != nil {
