@@ -11,6 +11,18 @@
 //	gridql -server http://host:9410 -cache
 //	gridql -server http://host:9410 -cache-flush
 //	gridql -server http://host:9410 -cursors
+//	gridql -server http://host:9410 -explain "SELECT ..."
+//	gridql -server http://host:9410 -slow [-n 10]
+//	gridql -server http://host:9410 -metrics
+//
+// -explain prints the routing decision a query would take — route class,
+// cache state, chosen member databases or peers, relay tier, budgets —
+// without executing it (the system.explain method). -slow lists the
+// server's slow-query ring (system.slowqueries): the queries over the
+// server's -slow-threshold, with per-phase timings and their captured
+// plans. -metrics dumps the unified metrics snapshot (system.metrics);
+// the same registry is scraped as Prometheus text at the server's
+// /metrics endpoint.
 //
 // -stream pages the result through a server-side cursor (the
 // system.cursor.open/fetch/close methods) instead of one materialized
@@ -31,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 
 	"gridrdb/internal/clarens"
@@ -47,6 +60,10 @@ func main() {
 	cache := flag.Bool("cache", false, "print the server's query-result cache stats and exit")
 	cacheFlush := flag.Bool("cache-flush", false, "drop the server's query-result cache and exit")
 	cursors := flag.Bool("cursors", false, "print the server's streaming-cursor stats and exit")
+	explain := flag.Bool("explain", false, "print the query's routing decision without executing it")
+	slow := flag.Bool("slow", false, "print the server's slow-query log and exit")
+	slowN := flag.Int("n", 0, "with -slow, print at most this many entries (0 = all)")
+	metrics := flag.Bool("metrics", false, "print the server's unified metrics snapshot and exit")
 	stream := flag.Bool("stream", false, "page the result through a server-side cursor instead of one materialized response")
 	fetchSize := flag.Int("fetch-size", 256, "rows per cursor fetch with -stream (server clamps to its maximum)")
 	timeout := flag.Duration("timeout", 0, "abandon the call after this long (0 = no deadline); the server cancels the query's backend work")
@@ -101,6 +118,66 @@ func main() {
 			}
 			fmt.Printf("  %-15s %v\n", k, v)
 		}
+	case *metrics:
+		res, err := c.CallContext(ctx, "system.metrics")
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		m := res.(map[string]interface{})
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-60s %v\n", k, m[k])
+		}
+	case *slow:
+		args := []interface{}{}
+		if *slowN > 0 {
+			args = append(args, int64(*slowN))
+		}
+		res, err := c.CallContext(ctx, "system.slowqueries", args...)
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		m := res.(map[string]interface{})
+		fmt.Printf("slow-query log: threshold %vms, %v captured lifetime (ring capacity %v)\n",
+			m["threshold_ms"], m["total"], m["capacity"])
+		entries, _ := m["entries"].([]interface{})
+		for _, ei := range entries {
+			e, ok := ei.(map[string]interface{})
+			if !ok {
+				continue
+			}
+			fmt.Printf("\n[%v] %.1fms via %v  rows=%v bytes=%v\n",
+				e["query_id"], e["duration_ms"], e["route"], e["rows"], e["bytes"])
+			fmt.Printf("  sql: %v\n", e["sql"])
+			if ph, ok := e["phases_ms"].(map[string]interface{}); ok {
+				fmt.Printf("  phases: parse=%.1fms route=%.1fms backend=%.1fms stream=%.1fms\n",
+					ph["parse"], ph["route"], ph["backend"], ph["stream"])
+			}
+			if errStr, ok := e["error"]; ok {
+				fmt.Printf("  error: %v\n", errStr)
+			}
+			if ex, ok := e["explain"].(map[string]interface{}); ok {
+				printExplain(ex, "  ")
+			}
+		}
+	case *explain:
+		query := strings.TrimSpace(strings.Join(flag.Args(), " "))
+		if query == "" {
+			log.Fatal("gridql: -explain needs a query")
+		}
+		res, err := c.CallContext(ctx, "system.explain", query)
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		m, ok := res.(map[string]interface{})
+		if !ok {
+			log.Fatalf("gridql: unexpected explain response %T", res)
+		}
+		printExplain(m, "")
 	case *tables:
 		res, err := c.CallContext(ctx, "dataaccess.tables")
 		if err != nil {
@@ -151,6 +228,40 @@ func main() {
 		fmt.Print(sqlengine.FormatResult(rs))
 		m := res.(map[string]interface{})
 		fmt.Printf("(%d rows via %v, %v server(s))\n", len(rs.Rows), m["route"], m["servers"])
+	}
+}
+
+// printExplain renders a routing description: the headline route first,
+// then every other key sorted, nested maps and lists indented under it.
+func printExplain(m map[string]interface{}, indent string) {
+	if route, ok := m["route"]; ok {
+		fmt.Printf("%sroute: %v (cached=%v)\n", indent, route, m["cached"])
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if k == "route" || k == "cached" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch v := m[k].(type) {
+		case map[string]interface{}:
+			fmt.Printf("%s%s:\n", indent, k)
+			inner := make([]string, 0, len(v))
+			for ik := range v {
+				inner = append(inner, ik)
+			}
+			sort.Strings(inner)
+			for _, ik := range inner {
+				fmt.Printf("%s  %s: %v\n", indent, ik, v[ik])
+			}
+		case []interface{}:
+			fmt.Printf("%s%s: %v\n", indent, k, v)
+		default:
+			fmt.Printf("%s%s: %v\n", indent, k, v)
+		}
 	}
 }
 

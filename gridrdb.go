@@ -46,6 +46,7 @@ package gridrdb
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -171,6 +172,19 @@ type ServerConfig struct {
 	// RequestTimeout, so one stuck source cannot consume a whole request's
 	// allowance. 0 applies no per-source bound.
 	SourceBudget time.Duration
+	// Logger receives the server's structured query log (slog records
+	// carrying the query id on every line). nil discards all records.
+	Logger *slog.Logger
+	// SlowQueryThreshold enables the slow-query log: any query slower than
+	// this is captured — with its routing plan and per-phase timings — into
+	// a bounded ring served by system.slowqueries. 0 disables capture.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize caps the slow-query ring (0 = default, 64).
+	SlowQueryLogSize int
+	// DisableMetrics turns off per-query observability tracking (timings,
+	// per-route histograms, slow capture) for benchmarking the bare query
+	// path. The /metrics endpoint stays up; per-query series stop moving.
+	DisableMetrics bool
 }
 
 // Server is one running JClarens instance: the data access service plus
@@ -294,15 +308,19 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 	g.mu.Unlock()
 
 	dcfg := dataaccess.Config{
-		Name:           cfg.Name,
-		Profile:        cfg.Profile,
-		CacheSize:      cfg.CacheSize,
-		CacheMaxBytes:  cfg.CacheMaxBytes,
-		CacheTTL:       cfg.CacheTTL,
-		CursorTTL:      cfg.CursorTTL,
-		DisableBinRows: cfg.DisableBinaryRows,
-		RelayFetchSize: cfg.RelayFetchSize,
-		SourceBudget:   cfg.SourceBudget,
+		Name:               cfg.Name,
+		Profile:            cfg.Profile,
+		CacheSize:          cfg.CacheSize,
+		CacheMaxBytes:      cfg.CacheMaxBytes,
+		CacheTTL:           cfg.CacheTTL,
+		CursorTTL:          cfg.CursorTTL,
+		DisableBinRows:     cfg.DisableBinaryRows,
+		RelayFetchSize:     cfg.RelayFetchSize,
+		SourceBudget:       cfg.SourceBudget,
+		Logger:             cfg.Logger,
+		SlowQueryThreshold: cfg.SlowQueryThreshold,
+		SlowQueryLogSize:   cfg.SlowQueryLogSize,
+		DisableObsv:        cfg.DisableMetrics,
 	}
 	if rlsURL != "" {
 		c := rls.NewClient(rlsURL)
@@ -320,6 +338,7 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("gridrdb: server %q is closed but has no users", cfg.Name)
 	}
 	svc.RegisterMethods(front)
+	front.SetMetrics(svc.Metrics().WritePrometheus)
 	addr := cfg.Addr
 	if addr == "" {
 		addr = "127.0.0.1:0"

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gridrdb/internal/netsim"
+	"gridrdb/internal/obsv"
 )
 
 // Method is one service endpoint. The context derives from the HTTP
@@ -39,6 +40,12 @@ type CallContext struct {
 // sessionHeader carries the session token on authenticated calls.
 const sessionHeader = "X-Clarens-Session"
 
+// queryIDHeader carries the query id across server-to-server hops: the
+// client copies it out of the calling context, the server restores it
+// into the method context, so one query keeps one id through any number
+// of forwards and relays.
+const queryIDHeader = "X-Gridrdb-Query-Id"
+
 // Server is a JClarens-style XML-RPC service host.
 type Server struct {
 	mu      sync.RWMutex
@@ -56,6 +63,9 @@ type Server struct {
 	srv       *http.Server
 	baseURL   string
 	now       func() time.Time // injectable clock for session-expiry tests
+	// metrics, when set, renders the /metrics endpoint body (Prometheus
+	// text exposition); nil answers 404 there.
+	metrics func(io.Writer)
 }
 
 type sessionInfo struct {
@@ -155,12 +165,32 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// SetMetrics installs the /metrics endpoint's renderer (typically the
+// obsv registry's WritePrometheus). It may be called before or after
+// Start; nil uninstalls the endpoint (404).
+func (s *Server) SetMetrics(render func(io.Writer)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = render
+}
+
 // Handler returns the XML-RPC endpoint handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/RPC2", s.handleRPC)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		render := s.metrics
+		s.mu.RUnlock()
+		if render == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		render(w)
 	})
 	return mux
 }
@@ -208,8 +238,12 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 	}
 	// The method context derives from the request: it is cancelled when
 	// the client disconnects, and bounded by the server's per-request
-	// deadline when one is configured.
+	// deadline when one is configured. A query id forwarded by the calling
+	// server is restored into the context so the id survives the hop.
 	ctx := r.Context()
+	if id := r.Header.Get(queryIDHeader); id != "" {
+		ctx = obsv.WithQueryID(ctx, id)
+	}
 	if d := s.requestTimeout(); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
@@ -495,6 +529,9 @@ func (c *Client) CallDecodeContext(ctx context.Context, method string, decode fu
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "text/xml")
+	if id := obsv.QueryID(ctx); id != "" {
+		req.Header.Set(queryIDHeader, id)
+	}
 	c.mu.Lock()
 	if c.session != "" {
 		req.Header.Set(sessionHeader, c.session)

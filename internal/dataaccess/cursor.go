@@ -6,10 +6,12 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gridrdb/internal/obsv"
 	"gridrdb/internal/sqlengine"
 )
 
@@ -76,13 +78,15 @@ type cursorRegistry struct {
 	stop    chan struct{} // closed by closeAll
 	closed  bool
 
-	reaped  atomic.Int64
-	opened  atomic.Int64
-	fetches atomic.Int64
-	rows    atomic.Int64
+	// Lifetime counters live in the service's metrics registry so the
+	// /metrics scrape and CursorStats read the same cells.
+	reaped  *obsv.Counter
+	opened  *obsv.Counter
+	fetches *obsv.Counter
+	rows    *obsv.Counter
 }
 
-func newCursorRegistry(ttl time.Duration) *cursorRegistry {
+func newCursorRegistry(ttl time.Duration, o *serviceObsv) *cursorRegistry {
 	if ttl == 0 {
 		ttl = defaultCursorTTL
 	}
@@ -90,6 +94,10 @@ func newCursorRegistry(ttl time.Duration) *cursorRegistry {
 		ttl:     ttl,
 		entries: make(map[string]*cursor),
 		stop:    make(chan struct{}),
+		reaped:  o.cursorsReaped,
+		opened:  o.cursorsOpened,
+		fetches: o.cursorFetches,
+		rows:    o.cursorRows,
 	}
 }
 
@@ -154,7 +162,9 @@ func (s *Service) OpenCursor(ctx context.Context, sqlText string, params ...sqle
 	reg.entries[id] = cur
 	reg.startJanitorLocked()
 	reg.mu.Unlock()
-	reg.opened.Add(1)
+	reg.opened.Inc()
+	s.obs.log(ctx, slog.LevelDebug, "cursor opened",
+		slog.String("cursor", id), slog.String("route", string(sr.Route)))
 	info := &CursorInfo{ID: id, Columns: sr.Columns(), Route: sr.Route, Servers: sr.Servers}
 	if reg.ttl > 0 {
 		info.TTL = reg.ttl
@@ -214,7 +224,7 @@ func (s *Service) FetchCursor(id string, n int) ([]sqlengine.Row, bool, error) {
 	if reg.ttl > 0 {
 		cur.expires.Store(time.Now().Add(reg.ttl).UnixNano())
 	}
-	reg.fetches.Add(1)
+	reg.fetches.Inc()
 	reg.rows.Add(int64(len(rows)))
 	return rows, cur.done, nil
 }
@@ -253,7 +263,7 @@ func (s *Service) ReapCursorsNow() int {
 // CursorsReaped reports how many cursors the TTL reaper has collected
 // over the service's lifetime (an abandoned-client health signal).
 func (s *Service) CursorsReaped() int64 {
-	return s.cursors.reaped.Load()
+	return s.cursors.reaped.Value()
 }
 
 // CursorStats is the operational snapshot behind system.cursorstats.
@@ -284,14 +294,14 @@ func (s *Service) CursorStats() CursorStats {
 	r := s.cursors
 	return CursorStats{
 		Open:           s.CursorCount(),
-		Opened:         r.opened.Load(),
-		Fetches:        r.fetches.Load(),
-		RowsFetched:    r.rows.Load(),
-		Reaped:         r.reaped.Load(),
-		RelayOpens:     s.relayOpens.Load(),
-		RelayFetches:   s.relayFetches.Load(),
-		RelayRows:      s.relayRows.Load(),
-		RelayFallbacks: s.relayFallbacks.Load(),
+		Opened:         r.opened.Value(),
+		Fetches:        r.fetches.Value(),
+		RowsFetched:    r.rows.Value(),
+		Reaped:         r.reaped.Value(),
+		RelayOpens:     s.obs.relayOpens.Value(),
+		RelayFetches:   s.obs.relayFetches.Value(),
+		RelayRows:      s.obs.relayRows.Value(),
+		RelayFallbacks: s.obs.relayFallbacks.Value(),
 	}
 }
 

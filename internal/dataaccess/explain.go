@@ -1,0 +1,184 @@
+package dataaccess
+
+// system.explain: describe the routing decision for a query without
+// executing it. Explain runs the same resolution the query path would —
+// parse and plan through the federation, RAL-extraction, RLS lookups for
+// unknown tables — and stops exactly where execution would begin, so the
+// description it returns is the decision the next execution will take
+// (modulo replica selection, which is load-dependent by design).
+
+import (
+	"context"
+	"errors"
+
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/unity"
+)
+
+// Explain resolves sqlText's routing without executing it, returning the
+// wire-ready description served by system.explain: the route class, the
+// cache state and dependency fingerprint, the plan shape with its chosen
+// member databases or peers, the relay tier that would apply, and the
+// budgets in force.
+func (s *Service) Explain(ctx context.Context, sqlText string, params ...sqlengine.Value) (map[string]interface{}, error) {
+	cached := s.cache != nil && s.cache.Peek(cacheKey(sqlText, params))
+	plan, err := s.fed.PlanQuery(sqlText)
+	var unknown *unity.ErrUnknownTable
+	switch {
+	case err == nil:
+		class := classUnityDecomp
+		if plan.Pushdown {
+			class = classUnityPush
+		}
+		m := s.explainMap(classNames[class], plan, nil, cached)
+		// Mirror queryLocal's POOL-RAL check: a simple single-source
+		// query on a supported vendor routes around unity entirely.
+		if !s.cfg.DisableRAL && len(params) == 0 {
+			if parts, ok, rerr := s.fed.ExtractRALParts(sqlText); rerr == nil && ok {
+				s.mu.Lock()
+				_, supported := s.ralConns[parts.Source]
+				s.mu.Unlock()
+				if supported {
+					m["route"] = classNames[classRAL]
+					m["ral_source"] = parts.Source
+				}
+			}
+		}
+		return m, nil
+	case errors.As(err, &unknown):
+		rp, rerr := s.resolveRemoteTables(ctx, sqlText)
+		if rerr != nil {
+			return nil, rerr
+		}
+		class := classMixed
+		if rp.singleURL != "" && len(params) == 0 {
+			class = classRemote
+		}
+		return s.explainMap(classNames[class], nil, rp, cached), nil
+	default:
+		return nil, err
+	}
+}
+
+// explainMap assembles the routing description from an already-resolved
+// plan (local) or remote plan. It is shared by Explain and the slow-query
+// capture, which stores the pointers at routing time and describes them
+// only if the query turns out slow.
+func (s *Service) explainMap(class string, plan *unity.Plan, rp *remotePlan, cached bool) map[string]interface{} {
+	m := map[string]interface{}{
+		"route":         class,
+		"cached":        cached,
+		"cache_enabled": s.cache != nil,
+		"budgets":       s.budgetMap(),
+	}
+	var deps []qcacheDep
+	switch {
+	case plan != nil:
+		pe := plan.Explain()
+		m["tables"] = strList(pe.Tables)
+		m["pushdown"] = pe.Pushdown
+		if pe.Pushdown {
+			m["source"] = pe.Source
+		}
+		subs := make([]interface{}, len(pe.Subs))
+		for i, sub := range pe.Subs {
+			subs[i] = map[string]interface{}{
+				"source": sub.Source,
+				"table":  sub.Table,
+				"sql":    sub.SQL,
+			}
+		}
+		m["subqueries"] = subs
+		for _, p := range plan.Dependencies() {
+			deps = append(deps, qcacheDep{p[0], p[1]})
+		}
+	case rp != nil:
+		m["tables"] = strList(rp.tables)
+		if rp.singleURL != "" {
+			m["forward_url"] = rp.singleURL
+			m["relay"] = s.relayTier(rp.singleURL)
+		} else {
+			remote := make(map[string]interface{}, len(rp.remoteHost))
+			relay := make(map[string]interface{}, len(rp.remoteHost))
+			for table, url := range rp.remoteHost {
+				remote[table] = url
+				relay[url] = s.relayTier(url)
+			}
+			m["remote_tables"] = remote
+			m["relay"] = relay
+			local := make([]string, 0, len(rp.local))
+			for t := range rp.local {
+				local = append(local, t)
+			}
+			m["local_tables"] = strList(local)
+		}
+		for _, d := range rp.deps {
+			deps = append(deps, qcacheDep{d.Source, d.Table})
+		}
+	}
+	depList := make([]interface{}, len(deps))
+	for i, d := range deps {
+		depList[i] = []interface{}{d.source, d.table}
+	}
+	m["deps"] = depList
+	return m
+}
+
+type qcacheDep struct{ source, table string }
+
+// budgetMap reports the timeouts and sizes that would govern execution.
+func (s *Service) budgetMap() map[string]interface{} {
+	fetchN := s.cfg.RelayFetchSize
+	if fetchN <= 0 {
+		fetchN = DefaultFetchSize
+	}
+	cursorTTL := s.cfg.CursorTTL
+	if cursorTTL == 0 {
+		cursorTTL = defaultCursorTTL
+	}
+	if cursorTTL < 0 {
+		cursorTTL = 0
+	}
+	return map[string]interface{}{
+		"source_budget_ms": s.cfg.SourceBudget.Milliseconds(),
+		"relay_fetch_size": int64(fetchN),
+		"cursor_ttl_ms":    cursorTTL.Milliseconds(),
+		"cache_ttl_ms":     s.cfg.CacheTTL.Milliseconds(),
+	}
+}
+
+// relayTier reports how a streamed transfer from the given peer would be
+// framed, from the cached capability handshake: "binary" (fetchb),
+// "plain" (XML fetch), or "unnegotiated" when no probe has resolved yet
+// (execution would probe, then relay or fall back to a materialized
+// forward on peers without cursors).
+func (s *Service) relayTier(serverURL string) string {
+	if s.cfg.DisableBinRows {
+		return "plain"
+	}
+	s.mu.Lock()
+	p, ok := s.remotes[serverURL]
+	s.mu.Unlock()
+	if !ok {
+		return "unnegotiated"
+	}
+	p.mu.Lock()
+	codec := p.codec
+	p.mu.Unlock()
+	switch codec {
+	case 1:
+		return "binary"
+	case -1:
+		return "plain"
+	default:
+		return "unnegotiated"
+	}
+}
+
+func strList(ss []string) []interface{} {
+	out := make([]interface{}, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gridrdb/internal/clarens"
+	"gridrdb/internal/obsv"
 	"gridrdb/internal/sqlengine"
 	"gridrdb/internal/xspec"
 )
@@ -32,6 +33,9 @@ import (
 //	system.cursor.fetch(cursor [, n])         -> {rows, done}
 //	system.cursor.fetchb(cursor [, n])        -> {rowsb, done}      (binary row frame, negotiated)
 //	system.cursor.close(cursor)               -> existed
+//	system.metrics()                          -> {name{labels}: value, ...} (unified snapshot)
+//	system.explain(sql [, params...])         -> {route, cached, deps, ...} (no execution)
+//	system.slowqueries([n])                   -> {threshold_ms, total, entries}
 //
 // Result payloads are rendered by the zero-boxing wire codec: rows encode
 // cell-direct into the response stream (wirecodec.go). queryb / fetchb are
@@ -295,6 +299,80 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		}
 		return s.CloseCursor(id), nil
 	})
+
+	// system.metrics is the unified counter/gauge/histogram snapshot — the
+	// same registry the Prometheus /metrics endpoint renders, flattened to
+	// {name{labels}: value}. Histograms contribute their _count and _sum.
+	srv.Register("system.metrics", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		snap := s.Metrics().Snapshot()
+		out := make(map[string]interface{}, len(snap))
+		for k, v := range snap {
+			out[k] = v
+		}
+		return out, nil
+	})
+
+	// system.explain describes the routing decision without executing.
+	srv.Register("system.explain", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		sqlText, params, err := queryArgs("system.explain", args)
+		if err != nil {
+			return nil, err
+		}
+		return s.Explain(ctx, sqlText, params...)
+	})
+
+	// system.slowqueries returns the slow-query ring, most recent first;
+	// an optional n caps how many entries come back.
+	srv.Register("system.slowqueries", func(_ context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		limit := -1
+		if len(args) >= 1 {
+			nn, ok := args[0].(int64)
+			if !ok {
+				return nil, fmt.Errorf("system.slowqueries: n must be an int, got %T", args[0])
+			}
+			limit = int(nn)
+		}
+		entries := s.SlowQueries()
+		if limit >= 0 && limit < len(entries) {
+			entries = entries[:limit]
+		}
+		list := make([]interface{}, len(entries))
+		for i, e := range entries {
+			list[i] = wireSlowEntry(e)
+		}
+		return map[string]interface{}{
+			"threshold_ms": float64(s.cfg.SlowQueryThreshold) / float64(time.Millisecond),
+			"capacity":     int64(s.SlowQueryCap()),
+			"total":        s.SlowQueryTotal(),
+			"entries":      list,
+		}, nil
+	})
+}
+
+// wireSlowEntry renders one slow-query capture for the wire.
+func wireSlowEntry(e obsv.SlowEntry) map[string]interface{} {
+	m := map[string]interface{}{
+		"query_id":    e.QueryID,
+		"sql":         e.SQL,
+		"route":       e.Route,
+		"start":       e.Start,
+		"duration_ms": float64(e.Duration) / float64(time.Millisecond),
+		"phases_ms": map[string]interface{}{
+			"parse":   float64(e.PhaseParse) / float64(time.Millisecond),
+			"route":   float64(e.PhaseRoute) / float64(time.Millisecond),
+			"backend": float64(e.PhaseBackend) / float64(time.Millisecond),
+			"stream":  float64(e.PhaseStream) / float64(time.Millisecond),
+		},
+		"rows":  e.Rows,
+		"bytes": e.Bytes,
+	}
+	if e.Err != "" {
+		m["error"] = e.Err
+	}
+	if e.Explain != nil {
+		m["explain"] = e.Explain
+	}
+	return m
 }
 
 func xmlrpcParams(args []interface{}) ([]sqlengine.Value, error) {

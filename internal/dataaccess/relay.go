@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"gridrdb/internal/clarens"
@@ -94,7 +95,9 @@ func (s *Service) openRelay(ctx context.Context, serverURL, sqlText string) (*re
 	if fetchN <= 0 {
 		fetchN = DefaultFetchSize
 	}
-	s.relayOpens.Add(1)
+	s.obs.relayOpens.Inc()
+	s.obs.log(ctx, slog.LevelDebug, "relay: cursor opened",
+		slog.String("peer", serverURL), slog.String("cursor", id))
 	return &relayIter{
 		svc:    s,
 		p:      p,
@@ -205,8 +208,8 @@ func (it *relayIter) Next() (sqlengine.Row, error) {
 			it.failed = fmt.Errorf("dataaccess: relay fetch from %s: protocol error: empty chunk without done", it.url)
 			return nil, it.failed
 		}
-		it.svc.relayFetches.Add(1)
-		it.svc.relayRows.Add(int64(len(chunk.Rows)))
+		it.svc.obs.relayFetches.Inc()
+		it.svc.obs.relayRows.Add(int64(len(chunk.Rows)))
 		it.buf, it.pos = chunk.Rows, 0
 		it.done = chunk.Done
 	}
@@ -242,7 +245,7 @@ func (it *relayIter) fetch() (*Chunk, error) {
 			it.p.mu.Lock()
 			it.p.codec = -1
 			it.p.mu.Unlock()
-			it.svc.relayFallbacks.Add(1)
+			it.svc.obs.relayFallbacks.Inc()
 		default:
 			return nil, fmt.Errorf("dataaccess: relay fetch from %s: %w", it.url, err)
 		}
@@ -291,11 +294,17 @@ func (it *relayIter) Close() error {
 // inputs incrementally — remote tables relayed page by page into unity's
 // integration engine — then streams the integrated result from memory.
 func (s *Service) streamWithRemote(ctx context.Context, key, sqlText string, params []sqlengine.Value, epoch int64) (*StreamResult, error) {
+	t := trackFrom(ctx)
+	tr := t.now()
 	rp, err := s.resolveRemoteTables(ctx, sqlText)
+	t.addRoute(tr)
 	if err != nil {
 		return nil, err
 	}
+	t.noteRemote(rp)
 	if rp.singleURL != "" && len(params) == 0 {
+		t.setClass(classRemote)
+		s.obs.log(ctx, slog.LevelDebug, "route: relay", slog.String("peer", rp.singleURL))
 		it, err := s.openRelay(ctx, rp.singleURL, sqlText)
 		switch {
 		case err == nil:
@@ -304,7 +313,9 @@ func (s *Service) streamWithRemote(ctx context.Context, key, sqlText string, par
 		case errors.Is(err, errRelayUnsupported):
 			// Peer predates the cursor protocol: whole-query materialized
 			// forward, streamed from memory (the pre-relay behaviour).
+			tb := t.now()
 			rs, ferr := s.forward(ctx, rp.singleURL, sqlText)
+			t.addBackend(tb)
 			if ferr != nil {
 				return nil, ferr
 			}

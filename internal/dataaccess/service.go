@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
@@ -82,6 +83,22 @@ type Config struct {
 	// one stuck source cannot consume the whole request budget. 0 applies
 	// no per-source bound.
 	SourceBudget time.Duration
+	// Logger receives the query path's structured records (route
+	// decisions, completions, relays, slow queries), each carrying the
+	// query id; nil discards them.
+	Logger *slog.Logger
+	// SlowQueryThreshold admits queries at least this slow to the
+	// slow-query ring (system.slowqueries), each captured with its
+	// explain plan and per-phase timings. 0 disables capture.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize bounds the slow-query ring (0 = 64 entries).
+	SlowQueryLogSize int
+	// DisableObsv turns off the per-query instrumentation (ids, phase
+	// timings, latency histograms, logging, slow capture). The metric
+	// registry itself stays up, serving lifetime counters. This is the
+	// no-op baseline the obsv benchmark compares against; production
+	// servers leave it off.
+	DisableObsv bool
 }
 
 // Route identifies which module answered a query (§4.5's two modules plus
@@ -127,11 +144,9 @@ type Service struct {
 	ralConns map[string]string
 
 	stats Stats
-	// Outbound cursor-relay counters (surfaced through CursorStats).
-	relayOpens     atomic.Int64
-	relayFetches   atomic.Int64
-	relayRows      atomic.Int64
-	relayFallbacks atomic.Int64
+	// obs is the observability state: metric registry, logger,
+	// slow-query ring, and the relay/cursor lifetime counters.
+	obs *serviceObsv
 }
 
 // New creates an empty service; add databases with AddDatabase.
@@ -142,9 +157,11 @@ func New(cfg Config) *Service {
 		ral:      poolral.New(),
 		remotes:  make(map[string]*remotePeer),
 		ralConns: make(map[string]string),
-		cursors:  newCursorRegistry(cfg.CursorTTL),
 	}
+	s.obs = newServiceObsv(cfg, s)
+	s.cursors = newCursorRegistry(cfg.CursorTTL, s.obs)
 	s.fed.SourceBudget = cfg.SourceBudget
+	s.fed.Logger = s.obs.logger
 	if cfg.CacheSize > 0 {
 		shards := cfg.CacheShards
 		if shards == 0 && cfg.CacheMaxBytes > 0 {
@@ -316,13 +333,30 @@ func (s *Service) Query(sqlText string, params ...sqlengine.Value) (*QueryResult
 // waiter departs (see qcache.Do).
 func (s *Service) QueryContext(ctx context.Context, sqlText string, params ...sqlengine.Value) (*QueryResult, error) {
 	s.stats.Queries.Add(1)
+	ctx, t := s.beginTrack(ctx, sqlText)
+	var (
+		qr     *QueryResult
+		served bool
+		err    error
+	)
 	if s.cache == nil {
-		qr, _, err := s.queryRouted(ctx, sqlText, params)
-		return qr, err
+		qr, _, err = s.queryRouted(ctx, sqlText, params)
+	} else {
+		// The track rides into the computation through the context values
+		// qcache.Do preserves on its detached goroutine; a served answer
+		// (resident hit or coalesced wait) never ran the computation, so
+		// its class is the cache.
+		qr, served, err = s.cache.Do(ctx, cacheKey(sqlText, params), func(ctx context.Context) (*QueryResult, []qcache.Dep, error) {
+			return s.queryRouted(ctx, sqlText, params)
+		})
 	}
-	qr, _, err := s.cache.Do(ctx, cacheKey(sqlText, params), func(ctx context.Context) (*QueryResult, []qcache.Dep, error) {
-		return s.queryRouted(ctx, sqlText, params)
-	})
+	if served {
+		t.setClass(classCache)
+	}
+	if err == nil {
+		t.noteRows(int64(len(qr.Rows)))
+	}
+	t.finish(err)
 	return qr, err
 }
 
@@ -334,11 +368,23 @@ func (s *Service) QueryContext(ctx context.Context, sqlText string, params ...sq
 // semantics as QueryContext.
 func (s *Service) ExecuteContext(ctx context.Context, plan *unity.Plan, params ...sqlengine.Value) (*QueryResult, error) {
 	s.stats.Queries.Add(1)
+	ctx, t := s.beginTrack(ctx, "(prepared plan)")
+	t.notePlan(plan)
+	if plan.Pushdown {
+		t.setClass(classUnityPush)
+	} else {
+		t.setClass(classUnityDecomp)
+	}
+	tb := t.now()
 	rs, err := s.fed.ExecuteContext(ctx, plan, params...)
+	t.addBackend(tb)
 	if err != nil {
+		t.finish(err)
 		return nil, err
 	}
 	s.stats.Unity.Add(1)
+	t.noteRows(int64(len(rs.Rows)))
+	t.finish(nil)
 	return &QueryResult{ResultSet: rs, Route: RouteUnity, Servers: 1}, nil
 }
 
@@ -346,11 +392,15 @@ func (s *Service) ExecuteContext(ctx context.Context, plan *unity.Plan, params .
 // returns the (source, table) set it read from — the cache-invalidation
 // fingerprint of the answer.
 func (s *Service) queryRouted(ctx context.Context, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+	t := trackFrom(ctx)
 	// Fast path: every table is registered locally.
+	tp := t.now()
 	plan, err := s.fed.PlanQuery(sqlText)
+	t.addParse(tp)
 	var unknown *unity.ErrUnknownTable
 	switch {
 	case err == nil:
+		t.notePlan(plan)
 		return s.queryLocal(ctx, sqlText, plan, params)
 	case errors.As(err, &unknown):
 		return s.queryWithRemote(ctx, sqlText, params)
@@ -373,13 +423,18 @@ func planDeps(plan *unity.Plan) []qcache.Dep {
 // data access layer decides which of the two modules to forward the query
 // to by finding out which databases are to be queried").
 func (s *Service) queryLocal(ctx context.Context, sqlText string, plan *unity.Plan, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+	t := trackFrom(ctx)
 	if !s.cfg.DisableRAL && len(params) == 0 {
 		if parts, ok, err := s.fed.ExtractRALParts(sqlText); err == nil && ok {
 			s.mu.Lock()
 			conn, supported := s.ralConns[parts.Source]
 			s.mu.Unlock()
 			if supported {
+				t.setClass(classRAL)
+				s.obs.log(ctx, slog.LevelDebug, "route: pool-ral", slog.String("source", parts.Source))
+				tb := t.now()
 				rs, err := s.ral.QueryValuesContext(ctx, conn, parts.Fields, parts.Tables, parts.Where)
+				t.addBackend(tb)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -392,7 +447,16 @@ func (s *Service) queryLocal(ctx context.Context, sqlText string, plan *unity.Pl
 			}
 		}
 	}
+	if plan.Pushdown {
+		t.setClass(classUnityPush)
+	} else {
+		t.setClass(classUnityDecomp)
+	}
+	s.obs.log(ctx, slog.LevelDebug, "route: unity",
+		slog.Bool("pushdown", plan.Pushdown), slog.Int("tables", len(plan.Tables)))
+	tb := t.now()
 	rs, err := s.fed.ExecuteContext(ctx, plan, params...)
+	t.addBackend(tb)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -478,10 +542,14 @@ func (s *Service) resolveRemoteTables(ctx context.Context, sqlText string) (*rem
 // host: RLS lookup, then either whole-query forwarding (all tables on one
 // remote server) or per-table fetch + local integration.
 func (s *Service) queryWithRemote(ctx context.Context, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+	t := trackFrom(ctx)
+	tr := t.now()
 	rp, err := s.resolveRemoteTables(ctx, sqlText)
+	t.addRoute(tr)
 	if err != nil {
 		return nil, nil, err
 	}
+	t.noteRemote(rp)
 	return s.queryWithRemoteResolved(ctx, rp, sqlText, params)
 }
 
@@ -491,15 +559,23 @@ func (s *Service) queryWithRemote(ctx context.Context, sqlText string, params []
 // peer supports it — into unity's integration engine, so partial results
 // are never held twice on this server.
 func (s *Service) queryWithRemoteResolved(ctx context.Context, rp *remotePlan, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+	t := trackFrom(ctx)
 	// All tables on one remote server: forward the whole query there.
 	if rp.singleURL != "" && len(params) == 0 {
+		t.setClass(classRemote)
+		s.obs.log(ctx, slog.LevelDebug, "route: forward", slog.String("peer", rp.singleURL))
+		tb := t.now()
 		rs, err := s.forward(ctx, rp.singleURL, sqlText)
+		t.addBackend(tb)
 		if err != nil {
 			return nil, nil, err
 		}
 		s.stats.Forwarded.Add(1)
 		return &QueryResult{ResultSet: rs, Route: RouteRemote, Servers: 2}, rp.deps, nil
 	}
+	t.setClass(classMixed)
+	s.obs.log(ctx, slog.LevelDebug, "route: mixed",
+		slog.Int("tables", len(rp.tables)), slog.Int("remote_tables", len(rp.remoteHost)))
 
 	// Mixed: stream each table (local federation or remote relay) into
 	// the integration engine and run the original query over it.
@@ -529,7 +605,9 @@ func (s *Service) queryWithRemoteResolved(ctx context.Context, rp *remotePlan, s
 		}
 		loads = append(loads, unity.StreamLoad{Logical: t, Iter: it})
 	}
+	tb := t.now()
 	rs, err := unity.IntegrateIters(ctx, rp.sel, loads, params)
+	t.addBackend(tb)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"log/slog"
 
 	"gridrdb/internal/qcache"
 	"gridrdb/internal/sqlengine"
@@ -81,6 +82,7 @@ func (s *Service) QueryStream(sqlText string, params ...sqlengine.Value) (*Strea
 // are never admitted: an unbounded fill buffer would defeat streaming.
 func (s *Service) QueryStreamContext(ctx context.Context, sqlText string, params ...sqlengine.Value) (*StreamResult, error) {
 	s.stats.Queries.Add(1)
+	ctx, t := s.beginTrack(ctx, sqlText)
 	key := cacheKey(sqlText, params)
 	// The invalidation epoch is snapshotted before the query executes —
 	// not at insert time — so a schema change or mart refresh landing
@@ -89,38 +91,54 @@ func (s *Service) QueryStreamContext(ctx context.Context, sqlText string, params
 	var epoch int64
 	if s.cache != nil {
 		if qr, ok := s.cache.Get(key); ok {
-			return &StreamResult{
+			t.setClass(classCache)
+			return s.trackStream(&StreamResult{
 				cols:    qr.Columns,
 				Route:   qr.Route,
 				Servers: qr.Servers,
 				iter:    sqlengine.SliceIter(qr.ResultSet),
-			}, nil
+			}, t), nil
 		}
 		epoch = s.cache.Epoch()
 	}
+	tp := t.now()
 	plan, err := s.fed.PlanQuery(sqlText)
+	t.addParse(tp)
 	var unknown *unity.ErrUnknownTable
+	var sr *StreamResult
 	switch {
 	case err == nil:
-		return s.streamLocal(ctx, key, sqlText, plan, params, epoch)
+		t.notePlan(plan)
+		sr, err = s.streamLocal(ctx, key, sqlText, plan, params, epoch)
 	case errors.As(err, &unknown):
-		return s.streamWithRemote(ctx, key, sqlText, params, epoch)
+		sr, err = s.streamWithRemote(ctx, key, sqlText, params, epoch)
 	default:
+		t.finish(err)
 		return nil, err
 	}
+	if err != nil {
+		t.finish(err)
+		return nil, err
+	}
+	return s.trackStream(sr, t), nil
 }
 
 // streamLocal routes a fully-local streaming query, mirroring queryLocal's
 // routing decision: POOL-RAL for simple single-source queries on
 // supported vendors, Unity otherwise.
 func (s *Service) streamLocal(ctx context.Context, key, sqlText string, plan *unity.Plan, params []sqlengine.Value, epoch int64) (*StreamResult, error) {
+	t := trackFrom(ctx)
 	if !s.cfg.DisableRAL && len(params) == 0 {
 		if parts, ok, err := s.fed.ExtractRALParts(sqlText); err == nil && ok {
 			s.mu.Lock()
 			conn, supported := s.ralConns[parts.Source]
 			s.mu.Unlock()
 			if supported {
+				t.setClass(classRAL)
+				s.obs.log(ctx, slog.LevelDebug, "route: pool-ral (stream)", slog.String("source", parts.Source))
+				tb := t.now()
 				it, err := s.ral.QueryStreamContext(ctx, conn, parts.Fields, parts.Tables, parts.Where)
+				t.addBackend(tb)
 				if err != nil {
 					return nil, err
 				}
@@ -133,7 +151,16 @@ func (s *Service) streamLocal(ctx context.Context, key, sqlText string, plan *un
 			}
 		}
 	}
+	if plan.Pushdown {
+		t.setClass(classUnityPush)
+	} else {
+		t.setClass(classUnityDecomp)
+	}
+	s.obs.log(ctx, slog.LevelDebug, "route: unity (stream)",
+		slog.Bool("pushdown", plan.Pushdown), slog.Int("tables", len(plan.Tables)))
+	tb := t.now()
 	it, err := s.fed.ExecuteStreamContext(ctx, plan, params...)
+	t.addBackend(tb)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,52 @@
+package histogram
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAtomicBucketAssignment(t *testing.T) {
+	a := NewAtomic([]float64{0.001, 0.01, 0.1})
+	a.ObserveDuration(1 * time.Millisecond)   // exactly the first bound → first bucket
+	a.ObserveDuration(999 * time.Microsecond) // first bucket
+	a.ObserveDuration(50 * time.Millisecond)  // third bucket
+	a.ObserveDuration(5 * time.Second)        // overflow
+
+	cum, count, sum := a.Snapshot()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	wantCum := []int64{2, 2, 3, 4}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	wantSum := 0.001 + 0.000999 + 0.05 + 5
+	if sum < wantSum-1e-9 || sum > wantSum+1e-9 {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+}
+
+func TestAtomicConcurrent(t *testing.T) {
+	a := NewAtomic([]float64{0.001, 0.01})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				a.ObserveDuration(time.Duration(j%20) * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	cum, count, _ := a.Snapshot()
+	if count != 8000 {
+		t.Fatalf("count = %d, want 8000", count)
+	}
+	if cum[len(cum)-1] != 8000 {
+		t.Fatalf("+Inf cumulative = %d, want 8000", cum[len(cum)-1])
+	}
+}

@@ -1,0 +1,62 @@
+package obsv
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+)
+
+// Query ids: every query gets a unique id at the edge of the first server
+// that sees it, carried in the context.Context through routing, cache
+// fill, scatter-gather sub-queries and relay hops (the clarens client
+// forwards it in an HTTP header, the server restores it). Ids are cheap —
+// a per-process random prefix plus an atomic counter — because they are
+// assigned on the hot path of every query.
+
+type queryIDKey struct{}
+
+// idPrefix distinguishes servers (and restarts) without coordination.
+var idPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "q0000000"
+	}
+	return "q" + hex.EncodeToString(b[:])
+}()
+
+var idSeq atomic.Uint64
+
+// NewQueryID mints a fresh query id: a per-process random prefix plus a
+// sequence number, e.g. "q3fa9c1d2-17".
+func NewQueryID() string {
+	b := make([]byte, 0, len(idPrefix)+21)
+	b = append(b, idPrefix...)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, idSeq.Add(1), 10)
+	return string(b)
+}
+
+// WithQueryID returns ctx carrying the given query id.
+func WithQueryID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, queryIDKey{}, id)
+}
+
+// QueryID returns the query id carried by ctx, or "" if none.
+func QueryID(ctx context.Context) string {
+	id, _ := ctx.Value(queryIDKey{}).(string)
+	return id
+}
+
+// EnsureQueryID returns ctx guaranteed to carry a query id, minting one
+// if absent, along with the id. A context that already has an id (a relay
+// hop, a scatter-gather sub-query) passes through unchanged so the id
+// stays stable across servers.
+func EnsureQueryID(ctx context.Context) (context.Context, string) {
+	if id := QueryID(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewQueryID()
+	return WithQueryID(ctx, id), id
+}

@@ -1,0 +1,81 @@
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one captured slow query: identity, routing outcome, the
+// explain plan computed when the query was admitted to the log, and the
+// per-phase timing breakdown.
+type SlowEntry struct {
+	QueryID  string
+	SQL      string
+	Route    string
+	Start    time.Time
+	Duration time.Duration
+	// Per-phase wall time. Phases may overlap with streaming (backend
+	// time for a relayed query accrues while the client drains), so the
+	// parts need not sum to Duration.
+	PhaseParse   time.Duration
+	PhaseRoute   time.Duration
+	PhaseBackend time.Duration
+	PhaseStream  time.Duration
+	Rows         int64
+	Bytes        int64
+	Err          string
+	// Explain is the wire-ready routing description (same shape as
+	// system.explain), captured at completion time.
+	Explain map[string]interface{}
+}
+
+// SlowLog is a bounded ring of the most recent queries that exceeded the
+// slow threshold. Admission is decided by the caller (it owns the
+// threshold); the ring only bounds retention: when full, the oldest entry
+// is evicted. Total counts every admission, including evicted ones.
+type SlowLog struct {
+	mu    sync.Mutex
+	ring  []SlowEntry
+	next  int
+	n     int
+	total atomic.Int64
+}
+
+// NewSlowLog creates a ring retaining at most size entries (size <= 0 is
+// clamped to 1).
+func NewSlowLog(size int) *SlowLog {
+	if size <= 0 {
+		size = 1
+	}
+	return &SlowLog{ring: make([]SlowEntry, size)}
+}
+
+// Record admits one slow query, evicting the oldest if the ring is full.
+func (l *SlowLog) Record(e SlowEntry) {
+	l.total.Add(1)
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the retained entries, most recent first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Total returns the number of queries ever admitted (retained or not).
+func (l *SlowLog) Total() int64 { return l.total.Load() }
+
+// Cap returns the ring capacity.
+func (l *SlowLog) Cap() int { return len(l.ring) }

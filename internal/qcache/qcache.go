@@ -225,6 +225,18 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return c.get(key, true)
 }
 
+// Peek reports whether a live (unexpired) entry exists for key, without
+// bumping the LRU order, counting a hit/miss, or expiring anything — the
+// inspection lookup behind system.explain, which must describe the cache
+// state without perturbing it.
+func (c *Cache[V]) Peek(key string) bool {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.ent[key]
+	return ok && (e.expires.IsZero() || !time.Now().After(e.expires))
+}
+
 // get implements Get; count=false skips the hit/miss counters (used by
 // Do's post-registration re-check so one lookup is not counted twice).
 func (c *Cache[V]) get(key string, count bool) (V, bool) {

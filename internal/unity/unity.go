@@ -5,12 +5,14 @@ import (
 	"database/sql"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gridrdb/internal/obsv"
 	"gridrdb/internal/sqlengine"
 	"gridrdb/internal/xspec"
 )
@@ -68,6 +70,11 @@ type Federation struct {
 	// may legitimately page a cursor for longer than any one source should
 	// be allowed to stall a scatter-gather.
 	SourceBudget time.Duration
+
+	// Logger receives structured records for sub-query dispatch (one per
+	// decomposed table load, carrying the query id from the context); nil
+	// disables them.
+	Logger *slog.Logger
 
 	rr atomic.Int64 // round-robin tiebreaker
 
@@ -709,6 +716,46 @@ func (p *Plan) Dependencies() [][2]string {
 	return out
 }
 
+// PlanExplain is a plan's self-description for system.explain and the
+// slow-query log: the routing shape, the chosen member databases, and the
+// per-table sub-queries — everything the private plan fields encode,
+// without the execution machinery.
+type PlanExplain struct {
+	// Pushdown reports whole-query execution on one member database
+	// (Source); otherwise the plan decomposes into per-table loads.
+	Pushdown    bool
+	Distributed bool
+	// Source is the chosen database for pushdown plans ("" otherwise).
+	Source string
+	Tables []string
+	// Subs are the sub-queries that would run, with their chosen sources.
+	Subs []SubQuery
+}
+
+// Explain describes the plan without executing it.
+func (p *Plan) Explain() PlanExplain {
+	return PlanExplain{
+		Pushdown:    p.Pushdown,
+		Distributed: p.Distributed,
+		Source:      p.pushSource,
+		Tables:      p.Tables,
+		Subs:        p.Subs,
+	}
+}
+
+// logSubquery emits one sub-query dispatch record (no-op without a
+// logger); the query id rides in from ctx.
+func (f *Federation) logSubquery(ctx context.Context, source, table string) {
+	lg := f.Logger
+	if lg == nil || !lg.Enabled(ctx, slog.LevelDebug) {
+		return
+	}
+	lg.LogAttrs(ctx, slog.LevelDebug, "unity subquery",
+		slog.String("query_id", obsv.QueryID(ctx)),
+		slog.String("source", source),
+		slog.String("table", table))
+}
+
 // Query plans and executes a federated query, returning the merged result.
 func (f *Federation) Query(sqlText string, params ...sqlengine.Value) (*sqlengine.ResultSet, error) {
 	return f.QueryContext(context.Background(), sqlText, params...)
@@ -753,6 +800,7 @@ func (f *Federation) ExecuteContext(ctx context.Context, plan *Plan, params ...s
 	if plan.Pushdown {
 		f.pushdowns.Add(1)
 		f.subqueries.Add(1)
+		f.logSubquery(ctx, plan.pushSource, "")
 		return f.runOnSourceCtx(ctx, plan.pushSource, plan.Subs[0].SQL, params)
 	}
 
@@ -764,6 +812,7 @@ func (f *Federation) ExecuteContext(ctx context.Context, plan *Plan, params ...s
 	// beyond the (unavoidable) scratch tables is one batch per worker.
 	scratch := sqlengine.NewEngine("unity-scratch", sqlengine.DialectANSI)
 	loadOne := func(ctx context.Context, ld tableLoad) error {
+		f.logSubquery(ctx, ld.source, ld.logical)
 		if f.SourceBudget > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, f.SourceBudget)
@@ -845,6 +894,7 @@ func (f *Federation) ExecuteStreamContext(ctx context.Context, plan *Plan, param
 		f.queries.Add(1)
 		f.pushdowns.Add(1)
 		f.subqueries.Add(1)
+		f.logSubquery(ctx, plan.pushSource, "")
 		return f.runOnSourceStreamCtx(ctx, plan.pushSource, plan.Subs[0].SQL, params)
 	}
 	rs, err := f.ExecuteContext(ctx, plan, params...)
