@@ -1,0 +1,72 @@
+// Command gridlint runs the grid's custom static-analysis suite
+// (internal/lint) over the given package patterns and fails if any
+// invariant is violated:
+//
+//	go run ./cmd/gridlint ./...
+//
+// Each finding prints as file:line:col: analyzer: message. A finding may
+// be suppressed only by an explicit `//lint:ignore <analyzer> <reason>`
+// directive on or immediately above the offending line; the reason is
+// mandatory and unused directives are themselves errors, so the
+// suppression list stays exact. The rules, the production failures they
+// prevent, and their escape hatches are documented in
+// docs/INVARIANTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridrdb/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gridlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the gridrdb invariant checkers (see docs/INVARIANTS.md).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridlint:", err)
+		os.Exit(2)
+	}
+
+	analyzers := lint.All()
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "gridlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

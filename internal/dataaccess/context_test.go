@@ -8,12 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"gridrdb/internal/clarens"
+	"gridrdb/internal/leaktest"
 	"gridrdb/internal/rls"
 	"gridrdb/internal/sqlengine"
 	"gridrdb/internal/xspec"
@@ -103,30 +103,12 @@ func registerSlowSource(delay time.Duration) (*slowDriver, xspec.SourceRef, *xsp
 	return d, ref, spec
 }
 
-// checkGoroutines fails the test if the goroutine count has not returned
-// to (about) its baseline once everything in flight had a chance to wind
-// down — the abandoned-query paths must not strand workers.
-func checkGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= base {
-			return
-		} else if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
-		}
-		runtime.Gosched()
-		time.Sleep(20 * time.Millisecond)
-	}
-}
-
 // TestQueryContextDeadlineLocal proves the acceptance criterion for the
 // Unity route: a query against a deliberately slow source returns
 // promptly with a context error when the caller's deadline expires, the
 // backend observes the cancellation, and no goroutines leak.
 func TestQueryContextDeadlineLocal(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	s := New(Config{Name: "jc-slow"})
 	defer s.Close()
 	d, ref, spec := registerSlowSource(time.Hour)
@@ -154,13 +136,13 @@ func TestQueryContextDeadlineLocal(t *testing.T) {
 	// sees only goroutines the abandoned query itself stranded, not the
 	// sql.DB pool machinery that lives until Close.
 	s.Close()
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestQueryContextCancelMidQuery cancels (rather than times out) the
 // caller once the backend has demonstrably started executing.
 func TestQueryContextCancelMidQuery(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	s := New(Config{Name: "jc-slow-cancel"})
 	defer s.Close()
 	d, ref, spec := registerSlowSource(time.Hour)
@@ -183,7 +165,7 @@ func TestQueryContextCancelMidQuery(t *testing.T) {
 		t.Fatal("backend never observed the cancellation")
 	}
 	s.Close()
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestQueryContextRALRoute proves the POOL-RAL route rejects work under an
@@ -213,7 +195,7 @@ func TestQueryContextRALRoute(t *testing.T) {
 // caller gives up. The forward HTTP request must abort promptly, and jc2
 // — seeing the disconnect — must cancel its own backend query.
 func TestQueryContextRemoteForward(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	catalog := rls.NewServer(0)
 	rlsURL, err := catalog.Start("127.0.0.1:0")
 	if err != nil {
@@ -268,7 +250,7 @@ func TestQueryContextRemoteForward(t *testing.T) {
 	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
 		tr.CloseIdleConnections()
 	}
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestCacheFollowerAbandon proves the qcache singleflight semantics at the

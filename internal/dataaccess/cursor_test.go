@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +15,7 @@ import (
 	"time"
 
 	"gridrdb/internal/clarens"
+	"gridrdb/internal/leaktest"
 	"gridrdb/internal/sqlengine"
 	"gridrdb/internal/xspec"
 )
@@ -220,7 +220,7 @@ func TestCursorBoundedPull(t *testing.T) {
 // past its TTL is cancelled by the janitor, its backend resources are
 // released, and later fetches fail.
 func TestCursorTTLReap(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	s := New(Config{Name: "jc-reap", CursorTTL: 40 * time.Millisecond})
 	d, ref, spec := registerPagedSource(10000, -1)
 	if err := s.AddDatabase(ref, spec, "", ""); err != nil {
@@ -244,14 +244,14 @@ func TestCursorTTLReap(t *testing.T) {
 		t.Fatal("fetch on a reaped cursor should error")
 	}
 	s.Close()
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestCursorCloseCancelsBlockedProducer: close must cancel the producing
 // query's context even while a fetch is blocked inside the backend —
 // that cancellation is exactly what unblocks the fetch.
 func TestCursorCloseCancelsBlockedProducer(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	s := New(Config{Name: "jc-blockclose"})
 	d, ref, spec := registerPagedSource(100, 5)
 	if err := s.AddDatabase(ref, spec, "", ""); err != nil {
@@ -285,14 +285,14 @@ func TestCursorCloseCancelsBlockedProducer(t *testing.T) {
 		t.Fatalf("backend cancellations = %d, want 1", d.cancelled.Load())
 	}
 	s.Close()
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestQueryStreamClientDisconnect is the in-process disconnect story:
 // cancelling the QueryStream context mid-iteration stops the producing
 // backend query and leaks no goroutines.
 func TestQueryStreamClientDisconnect(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	s := New(Config{Name: "jc-streamcancel"})
 	d, ref, spec := registerPagedSource(100, 5)
 	if err := s.AddDatabase(ref, spec, "", ""); err != nil {
@@ -322,7 +322,7 @@ func TestQueryStreamClientDisconnect(t *testing.T) {
 	}
 	cancel()
 	s.Close()
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestCursorOverXMLRPC drives the wire protocol end to end: open/fetch/

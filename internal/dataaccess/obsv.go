@@ -300,6 +300,7 @@ func (t *qtrack) finish(err error) {
 	if ss := t.streamStart.Load(); ss > 0 {
 		t.streamNs.Store(time.Now().UnixNano() - ss)
 	}
+	//lint:ignore ctxflow completion logging outlives the request: the track finishes after the caller's context is cancelled, and log emission must not inherit that cancellation
 	ctx := obsv.WithQueryID(context.Background(), t.id)
 	if err != nil {
 		o.errors.Inc()

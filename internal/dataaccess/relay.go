@@ -271,6 +271,7 @@ func (it *relayIter) closeRemote() {
 		return
 	}
 	it.remoteClosed = true
+	//lint:ignore ctxflow the close must survive the relay's already-cancelled request context; it is bounded by relayCloseTimeout and the peer's idle-TTL reaper backstops a lost close
 	ctx, cancel := context.WithTimeout(context.Background(), relayCloseTimeout)
 	defer cancel()
 	it.p.c.CallContext(ctx, "system.cursor.close", it.id) //nolint:errcheck // best-effort release

@@ -11,13 +11,13 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"gridrdb/internal/clarens"
+	"gridrdb/internal/leaktest"
 	"gridrdb/internal/rls"
 	"gridrdb/internal/sqldriver"
 	"gridrdb/internal/sqlengine"
@@ -104,7 +104,7 @@ func drainStream(t *testing.T, sr *StreamResult) *sqlengine.ResultSet {
 // page, produces exactly the rows a materialized forward would, and
 // releases the remote cursor when the stream drains.
 func TestRelayStreamsRemoteScan(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	const n = 1500
 	p := newRelayPair(t, Config{Name: "relay-host"}, Config{Name: "relay-fwd", RelayFetchSize: 128}, "mart_relay_scan", "events", n)
 	defer p.close()
@@ -145,7 +145,7 @@ func TestRelayStreamsRemoteScan(t *testing.T) {
 	waitFor(t, 2*time.Second, func() bool { return p.host.CursorCount() == 0 })
 
 	p.close()
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestRelayPlainXMLPeer proves the first fallback tier: a peer that does
@@ -235,7 +235,7 @@ func TestRelayPeerWithoutCursorProtocol(t *testing.T) {
 // prompt error — never silent truncation — and that closing the broken
 // stream does not hang or strand goroutines.
 func TestRelayMidStreamPeerDeath(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	const n = 1000
 	p := newRelayPair(t, Config{Name: "death-host"}, Config{Name: "death-fwd", RelayFetchSize: 64}, "mart_relay_death", "events", n)
 	defer p.close()
@@ -273,14 +273,14 @@ func TestRelayMidStreamPeerDeath(t *testing.T) {
 	}
 
 	p.close()
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestRelayCloseReleasesRemoteCursor proves an early local close tears
 // down the whole chain: the peer's cursor disappears (producing query
 // cancelled) well before any TTL, and no goroutines are stranded.
 func TestRelayCloseReleasesRemoteCursor(t *testing.T) {
-	base := runtime.NumGoroutine()
+	checkLeaks := leaktest.Check(t)
 	const n = 5000
 	p := newRelayPair(t, Config{Name: "close-host"}, Config{Name: "close-fwd", RelayFetchSize: 32}, "mart_relay_close", "events", n)
 	defer p.close()
@@ -303,7 +303,7 @@ func TestRelayCloseReleasesRemoteCursor(t *testing.T) {
 	waitFor(t, 2*time.Second, func() bool { return p.host.CursorCount() == 0 })
 
 	p.close()
-	checkGoroutines(t, base)
+	checkLeaks()
 }
 
 // TestRelayChainedCursors proves the bound composes across hops: a client

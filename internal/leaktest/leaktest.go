@@ -1,0 +1,51 @@
+// Package leaktest is the shared goroutine-leak check for gridrdb tests.
+//
+// Every subsystem that spawns per-query workers — cursor reapers, relay
+// pumps, track drainers — has the same failure mode: an abandoned request
+// strands a goroutine, and nothing notices until production runs out of
+// them. The per-package copies of this check drifted (different
+// deadlines, different diagnostics), so the snapshot/verify pair lives
+// here once.
+//
+// Usage:
+//
+//	defer leaktest.Check(t)()
+//
+// Check snapshots the goroutine count at the start of the test; the
+// returned func polls until the count falls back to the baseline, and
+// fails the test with a full stack dump if it has not within the grace
+// window. The comparison is <= baseline, not ==, because runtime and
+// prior-test goroutines may retire during the test.
+package leaktest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long a finished test waits for in-flight goroutines to
+// observe cancellation and wind down before declaring a leak.
+const grace = 5 * time.Second
+
+// Check snapshots the current goroutine count and returns the verify
+// func, so the whole check reads as one deferred line at the top of a
+// test. The verify func may also be called explicitly mid-test to assert
+// a subsystem wound down before the next phase starts.
+func Check(t testing.TB) func() {
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(grace)
+		for {
+			if n := runtime.NumGoroutine(); n <= base {
+				return
+			} else if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+			}
+			runtime.Gosched()
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}

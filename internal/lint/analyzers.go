@@ -1,0 +1,15 @@
+package lint
+
+// All returns the full gridlint suite in the order findings are easiest
+// to act on: context discipline first (it names the fix inline), then
+// resource lifetime, then wire/metric hygiene.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		RowIterClose,
+		LockScope,
+		FaultDiscipline,
+		ObsvReg,
+		PoolGuard,
+	}
+}

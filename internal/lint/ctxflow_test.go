@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "testdata/ctxflow", "gridrdb/internal/dataaccess/lintfixture")
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+// TestDirectives covers the suppression machinery shared by every
+// analyzer: a reasoned //lint:ignore silences its finding, a reasonless
+// or unknown directive is itself a finding, and a directive that
+// suppresses nothing is flagged as stale.
+func TestDirectives(t *testing.T) {
+	linttest.Run(t, lint.CtxFlow, "testdata/directives", "gridrdb/internal/dataaccess/lintfixture")
+}

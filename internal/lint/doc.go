@@ -1,0 +1,23 @@
+// Package lint is the grid's custom static-analysis suite: a small,
+// dependency-free analogue of golang.org/x/tools/go/analysis that
+// encodes the repo's load-bearing invariants as machine-checked
+// analyzers. Each analyzer guards a convention established by an earlier
+// PR — contexts threaded end-to-end, row iterators closed on every path,
+// no I/O under a mutex, only registered fault codes on the wire, metrics
+// through obsv, pooled buffers never used after Put — so the invariants
+// hold for every future change instead of decaying into review nits.
+//
+// The suite runs as `go run ./cmd/gridlint ./...` (wired into CI) and is
+// exercised by per-analyzer fixture tests under testdata/ via the
+// linttest harness, which mirrors x/tools' analysistest `// want`
+// convention.
+//
+// Suppressions are explicit and audited: a finding may be silenced only
+// by a `//lint:ignore <analyzer> <reason>` directive on (or immediately
+// above) the offending line, the reason is mandatory, and a directive
+// that stops matching anything becomes an error itself — so the
+// exemption list can only shrink by deleting directives, never rot.
+//
+// docs/INVARIANTS.md documents each rule, the production failure it
+// prevents, and its escape hatch.
+package lint

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// FaultDiscipline enforces the PR 5 wire invariant: only registered
+// clarens fault codes cross the wire, and registered XML-RPC handlers
+// never leak internal error chains onto it.
+//
+// Two rules:
+//
+//   - A clarens.Fault composite literal must take its Code from one of
+//     the named Fault* constants in the clarens package. A numeric
+//     literal (or any other constant expression) mints an unregistered
+//     code that no client — including our own IsCancelled / downgrade
+//     probing — knows how to classify.
+//
+//   - Inside a handler registered via (*clarens.Server).Register, a
+//     returned error must not be built with errors.New or a fmt.Errorf
+//     that wraps (%w): the dispatcher serializes the full Error() string
+//     into the fault message, so a wrapped chain ships driver internals,
+//     file paths and peer URLs to arbitrary clients. Plain fmt.Errorf
+//     argument diagnostics (no %w) are fine; so is returning the error
+//     untouched for FaultFor to classify.
+var FaultDiscipline = &Analyzer{
+	Name: "faultdiscipline",
+	Doc:  "faults cross the wire only with registered Fault* codes; registered handlers must not wrap internal error chains into the fault message",
+	Run:  runFaultDiscipline,
+}
+
+func runFaultDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkFaultLit(pass, n)
+			case *ast.CallExpr:
+				if isRegisterCall(pass, n) && len(n.Args) >= 2 {
+					if fl, ok := ast.Unparen(n.Args[1]).(*ast.FuncLit); ok {
+						checkHandlerErrors(pass, fl)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFaultLit validates the Code field of a clarens.Fault literal.
+func checkFaultLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !isNamedType(tv.Type, pkgClarens, "Fault") {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Code" {
+			continue
+		}
+		if !isRegisteredFaultCode(pass, kv.Value) {
+			pass.Reportf(kv.Value.Pos(), "clarens.Fault built with an unregistered code — use one of the named clarens.Fault* constants (and register new codes there first)")
+		}
+	}
+}
+
+// isRegisteredFaultCode accepts an identifier or selector resolving to a
+// constant named Fault* declared in the clarens package.
+func isRegisteredFaultCode(pass *Pass, expr ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if obj.Pkg() != nil && obj.Pkg().Path() == pkgClarens && strings.HasPrefix(obj.Name(), "Fault") {
+		return true
+	}
+	// f.Code copied off another Fault value.
+	if obj.Name() == "Code" {
+		return true
+	}
+	return false
+}
+
+// isRegisterCall matches (*clarens.Server).Register(name, handler).
+func isRegisterCall(pass *Pass, call *ast.CallExpr) bool {
+	recv := receiverType(pass.Info, call)
+	return recv != nil && isNamedType(recv, pkgClarens, "Server") && calleeName(call) == "Register"
+}
+
+// checkHandlerErrors walks a registered handler's returns.
+func checkHandlerErrors(pass *Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		errExpr := ast.Unparen(ret.Results[len(ret.Results)-1])
+		call, ok := errExpr.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPkgFunc(pass.Info, call, "errors", "New"):
+			pass.Reportf(call.Pos(), "registered handler returns errors.New — return a clarens.Fault (or let FaultFor classify a typed error) so the wire sees a registered code and a deliberate message")
+		case isPkgFunc(pass.Info, call, "fmt", "Errorf") && errorfWraps(pass, call):
+			pass.Reportf(call.Pos(), "registered handler returns fmt.Errorf(%%w, ...) — the wrapped chain leaks internals onto the wire; return the underlying error for FaultFor, or build a clarens.Fault with a deliberate message")
+		}
+		return true
+	})
+}
+
+// errorfWraps reports whether a fmt.Errorf call's constant format string
+// contains a %w verb.
+func errorfWraps(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return true // non-constant format: assume the worst
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+func TestFaultDiscipline(t *testing.T) {
+	linttest.Run(t, lint.FaultDiscipline, "testdata/faultdiscipline", "gridrdb/internal/dataaccess/lintfixture")
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a type-checked package
+// through the Pass and reports findings; a non-nil error aborts the whole
+// gridlint run (reserved for analyzer bugs, not findings).
+type Analyzer struct {
+	Name string
+	// Doc is the one-line rule statement shown by `gridlint -list`.
+	Doc string
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ---- suppression directives ----
+
+// directivePrefix introduces an explicit, audited suppression:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line immediately above it. The reason is
+// mandatory, and a directive that suppresses nothing is itself an error,
+// so stale exemptions cannot accumulate.
+const directivePrefix = "//lint:"
+
+type directive struct {
+	pos      token.Position
+	analyzer string // analyzer name, or "*" for any
+	reason   string
+	bad      string // non-empty: the directive itself is malformed
+	used     bool
+}
+
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d := &directive{pos: fset.Position(c.Pos())}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0 || fields[0] != "ignore":
+					d.bad = fmt.Sprintf("unknown lint directive %q (only //lint:ignore <analyzer> <reason> is recognized)", c.Text)
+				case len(fields) < 3:
+					d.bad = "lint:ignore directive needs an analyzer name and a human-readable reason"
+				default:
+					d.analyzer = fields[1]
+					d.reason = strings.Join(fields[2:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func (d *directive) matches(diag Diagnostic) bool {
+	if d.bad != "" {
+		return false
+	}
+	if d.analyzer != "*" && d.analyzer != diag.Analyzer {
+		return false
+	}
+	if d.pos.Filename != diag.Pos.Filename {
+		return false
+	}
+	return diag.Pos.Line == d.pos.Line || diag.Pos.Line == d.pos.Line+1
+}
+
+// RunAnalyzers runs every analyzer over pkg, applies the package's
+// lint:ignore directives, and returns the surviving diagnostics sorted by
+// position. Malformed and unused directives surface as diagnostics from
+// the pseudo-analyzer "directive".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: running %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, diag := range raw {
+		suppressed := false
+		for _, d := range dirs {
+			if d.matches(diag) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.bad != "":
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "directive", Message: d.bad})
+		case !d.used:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "directive",
+				Message: fmt.Sprintf("lint:ignore %s directive suppresses nothing — delete it", d.analyzer)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}

@@ -1,0 +1,197 @@
+// Package linttest is the fixture harness for the gridlint analyzers, a
+// dependency-free analogue of golang.org/x/tools/go/analysis/analysistest.
+// A fixture is a directory of Go files under the calling test's testdata/
+// annotated with `// want "regexp"` comments; Run type-checks the fixture
+// against the real module packages (so analyzers match real types like
+// sqlengine.RowIter and clarens.Client) and fails the test on any
+// diagnostic without a matching want, or want without a matching
+// diagnostic. A false-positive regression in an analyzer therefore fails
+// that analyzer's own test before it can block CI.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"gridrdb/internal/lint"
+)
+
+var (
+	importerOnce sync.Once
+	importerErr  error
+	sharedFset   *token.FileSet
+	sharedImp    types.Importer
+)
+
+// moduleRoot locates the enclosing module's directory.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("linttest: not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// loadImporter builds (once per process) an importer over the export
+// data of every module package and its dependencies.
+func loadImporter() (*token.FileSet, types.Importer, error) {
+	importerOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			importerErr = err
+			return
+		}
+		exports, err := lint.ExportIndex(root, "./...")
+		if err != nil {
+			importerErr = err
+			return
+		}
+		sharedFset = token.NewFileSet()
+		sharedImp = lint.NewImporter(sharedFset, exports)
+	})
+	return sharedFset, sharedImp, importerErr
+}
+
+// want is one expected-diagnostic annotation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantMarker extracts the quoted patterns from a `// want "..." "..."`
+// tail. blockWantMarker is the `/* want "..." */` form for lines whose
+// trailing position is already taken by a line comment — in practice,
+// lines holding a `//lint:` directive under test, since a `//` comment
+// swallows the rest of the line.
+var (
+	wantMarker      = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	blockWantMarker = regexp.MustCompile(`/\*\s*want\s+(.*?)\*/`)
+)
+
+func parseWants(t *testing.T, filename string, src []byte) []*want {
+	t.Helper()
+	var wants []*want
+	for i, line := range strings.Split(string(src), "\n") {
+		var m []string
+		if m = blockWantMarker.FindStringSubmatch(line); m == nil {
+			m = wantMarker.FindStringSubmatch(line)
+		}
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			if rest[0] != '"' && rest[0] != '`' {
+				t.Fatalf("%s:%d: malformed want annotation %q", filename, i+1, rest)
+			}
+			var lit string
+			end := 1
+			for ; end < len(rest); end++ {
+				if rest[end] == rest[0] && rest[end-1] != '\\' {
+					break
+				}
+			}
+			if end == len(rest) {
+				t.Fatalf("%s:%d: unterminated want pattern %q", filename, i+1, rest)
+			}
+			lit = rest[:end+1]
+			rest = strings.TrimSpace(rest[end+1:])
+			pat, err := strconv.Unquote(lit)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %s: %v", filename, i+1, lit, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: want pattern %q is not a valid regexp: %v", filename, i+1, pat, err)
+			}
+			wants = append(wants, &want{file: filename, line: i + 1, re: re})
+		}
+	}
+	return wants
+}
+
+// Run analyzes the fixture directory (relative to the test's working
+// directory, conventionally "testdata/<name>") as a package with import
+// path pkgPath, and compares diagnostics against the fixture's want
+// annotations. pkgPath decides package-scoped rules: a fixture under
+// gridrdb/internal/dataaccess/... is request-path, one under
+// gridrdb/internal/experiments/... is not.
+func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	fset, imp, err := loadImporter()
+	if err != nil {
+		t.Fatalf("linttest: loading export data: %v", err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var filenames []string
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fn := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		filenames = append(filenames, fn)
+		wants = append(wants, parseWants(t, fn, src)...)
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+
+	pkg, err := lint.TypeCheck(fset, imp, pkgPath, filenames)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Analyzer+": "+d.Message) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want on (file, line) whose pattern
+// matches msg.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.line != line || w.file != file {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

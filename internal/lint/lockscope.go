@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScope enforces the PR 2 lesson (the handleLogin outage shape): no
+// blocking I/O while holding a sync.Mutex/RWMutex. A clarens.Client call,
+// an http/net operation, or a channel send under a lock turns one slow
+// peer into a server-wide stall — every request that touches the mutex
+// queues behind the RPC.
+//
+// The analysis is a conservative linear scan of each function body:
+// x.Lock()/x.RLock() marks x held until the matching Unlock in the same
+// or an enclosing block; defer x.Unlock() holds it to the end of the
+// function (the dominant idiom). Branch bodies are scanned with a copy of
+// the held set. Function literals start with an empty held set — they run
+// later, under their own discipline.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no clarens.Client calls, net/http I/O, or channel sends while holding a sync.Mutex/RWMutex",
+	Run:  runLockScope,
+}
+
+// httpBlockingFuncs / netBlockingFuncs are the package-level entry
+// points that perform network I/O. Pure helpers (JoinHostPort, ParseIP,
+// CanonicalHeaderKey, NewRequest, Header.Set, ...) are fine under a lock
+// and deliberately absent.
+var httpBlockingFuncs = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true,
+	"Serve": true, "ServeTLS": true, "ReadRequest": true, "ReadResponse": true,
+}
+
+var netBlockingFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+	"DialIP": true, "DialUnix": true, "Listen": true, "ListenTCP": true,
+	"ListenUDP": true, "ListenIP": true, "ListenUnix": true, "ListenPacket": true,
+	"LookupHost": true, "LookupIP": true, "LookupAddr": true, "LookupPort": true,
+	"LookupCNAME": true, "LookupMX": true, "LookupNS": true, "LookupSRV": true,
+	"LookupTXT": true,
+}
+
+// blockingMethodNames are the methods that block on the peer when
+// invoked on a type from package net (conns, listeners, dialers,
+// resolvers).
+var blockingMethodNames = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "ReadFrom": true,
+	"WriteTo": true, "DialContext": true, "LookupHost": true, "LookupIPAddr": true,
+}
+
+func runLockScope(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		scanLockBlock(pass, fd.Body.List, map[string]token.Pos{})
+	}
+	return nil
+}
+
+// mutexMethod reports whether call is a sync.Mutex/RWMutex lock-state
+// method, returning the method name and the receiver's printed form.
+func mutexMethod(pass *Pass, call *ast.CallExpr) (name, recv string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, isMethod := pass.Info.Selections[sel]
+	if !isMethod {
+		return "", "", false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch obj.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return obj.Name(), exprString(pass.Fset, sel.X), true
+	}
+	return "", "", false
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	_ = printer.Fprint(&sb, fset, e)
+	return sb.String()
+}
+
+// scanLockBlock walks stmts in order, tracking which mutexes are held.
+// held maps the receiver's printed form to the position of its Lock.
+func scanLockBlock(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if name, recv, ok := mutexMethod(pass, call); ok {
+					switch name {
+					case "Lock", "RLock":
+						held[recv] = call.Pos()
+					case "Unlock", "RUnlock":
+						delete(held, recv)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			if name, _, ok := mutexMethod(pass, s.Call); ok && (name == "Unlock" || name == "RUnlock") {
+				continue // releases at return; the lock stays held for the scan
+			}
+		}
+		if len(held) > 0 {
+			checkUnderLock(pass, stmt, held)
+		}
+		// Recurse into compound statements with a copy of the held set:
+		// a branch may lock/unlock privately without corrupting the outer
+		// view (conservative: an unlock inside a branch does not release
+		// the outer scan's lock).
+		for _, body := range nestedBlocks(stmt) {
+			scanLockBlock(pass, body, copyHeld(held))
+		}
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// nestedBlocks returns the statement lists nested one level under stmt.
+func nestedBlocks(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, []ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, []ast.Stmt{s.Stmt})
+	}
+	return out
+}
+
+// checkUnderLock flags blocking operations in the statement itself (not
+// in nested blocks or function literals, which are scanned separately).
+func checkUnderLock(pass *Pass, stmt ast.Stmt, held map[string]token.Pos) {
+	nested := map[ast.Node]bool{}
+	for _, blocks := range nestedBlocks(stmt) {
+		for _, s := range blocks {
+			nested[s] = true
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if nested[n] {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Arrow, "channel send while holding %s — a full channel stalls every request queued on the mutex", heldNames(held))
+		case *ast.CallExpr:
+			if bad := blockingCall(pass.Info, n); bad != "" {
+				pass.Reportf(n.Pos(), "%s while holding %s — blocking I/O under a mutex turns one slow peer into a server-wide stall", bad, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+func heldNames(held map[string]token.Pos) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// blockingCall classifies calls that must not run under a lock: any
+// clarens.Client method (they are all RPCs), network-I/O entry points in
+// net / net/http, and response writes (the original handleLogin bug held
+// the server mutex across the response body).
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	name := calleeName(call)
+	if recv := receiverType(info, call); recv != nil {
+		if isNamedType(recv, pkgClarens, "Client") {
+			return "clarens.Client." + name + " call"
+		}
+		if n, ok := deref(recv).(*types.Named); ok && n.Obj().Pkg() != nil {
+			switch n.Obj().Pkg().Path() {
+			case "net/http":
+				switch n.Obj().Name() {
+				case "Client", "Transport", "Server":
+					return "http." + n.Obj().Name() + "." + name + " call"
+				case "ResponseWriter":
+					if name == "Write" || name == "WriteHeader" {
+						return "response " + name + " call"
+					}
+				}
+			case "net":
+				if blockingMethodNames[name] {
+					return "net." + n.Obj().Name() + "." + name + " call"
+				}
+			}
+		}
+	}
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "net/http":
+		if httpBlockingFuncs[obj.Name()] {
+			return "http." + obj.Name() + " call"
+		}
+	case "net":
+		if netBlockingFuncs[obj.Name()] {
+			return "net." + obj.Name() + " call"
+		}
+	}
+	return ""
+}

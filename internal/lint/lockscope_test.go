@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, lint.LockScope, "testdata/lockscope", "gridrdb/internal/dataaccess/lintfixture")
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+)
+
+// ObsvReg enforces the PR 6 invariant: observability goes through
+// internal/obsv, under one naming scheme, with no parallel ad-hoc
+// counters growing beside it.
+//
+// Three rules:
+//
+//   - Every metric registered on an obsv.Registry must carry a
+//     compile-time-constant name matching gridrdb_[a-z_]+ — the dashboard
+//     contract. A name assembled at runtime can collide, drift, or
+//     escape the gridrdb_ namespace without anyone noticing until a
+//     scrape breaks.
+//
+//   - Each metric name is registered from exactly one call site per
+//     package. The registry itself dedupes re-registration at runtime,
+//     but two call sites for one name means two pieces of code believe
+//     they own the metric — the PR 6 migration existed to kill exactly
+//     that.
+//
+//   - Request-path packages must not grow legacy sync/atomic counter
+//     calls (atomic.AddInt64 and friends on bare ints). Counters either
+//     are obsv metrics, or are typed atomics exposed through
+//     CounterFunc/GaugeFunc — the pre-PR 6 bare ints were invisible to
+//     /metrics and that's how they stayed untracked for five PRs.
+var ObsvReg = &Analyzer{
+	Name: "obsvreg",
+	Doc:  "metrics are obsv-registered constants named gridrdb_[a-z_]+, one call site per name; no legacy atomic.AddX counters on the request path",
+	Run:  runObsvReg,
+}
+
+var metricNameRE = regexp.MustCompile(`^gridrdb_[a-z_]+$`)
+
+// registryMethods are the obsv.Registry registration entry points whose
+// first argument is the metric name.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+}
+
+// legacyAtomicFuncs are the package-level sync/atomic functions that
+// implement the old bare-int counter idiom.
+var legacyAtomicFuncs = []string{
+	"AddInt32", "AddInt64", "AddUint32", "AddUint64",
+}
+
+func runObsvReg(pass *Pass) error {
+	firstSite := map[string]ast.Node{} // metric name -> first registration call
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv := receiverType(pass.Info, call); recv != nil &&
+				isNamedType(recv, pkgObsv, "Registry") && registryMethods[calleeName(call)] && len(call.Args) > 0 {
+				checkMetricName(pass, call, firstSite)
+			}
+			if isRequestPath(pass.Pkg.Path()) && isPkgFunc(pass.Info, call, "sync/atomic", legacyAtomicFuncs...) {
+				pass.Reportf(call.Pos(), "legacy %s counter on the request path — use an obsv metric, or a typed atomic exposed through the registry (CounterFunc/GaugeFunc)", calleeName(call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMetricName(pass *Pass, call *ast.CallExpr, firstSite map[string]ast.Node) {
+	nameArg := call.Args[0]
+	tv, ok := pass.Info.Types[nameArg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		// Registration helpers forwarding a caller's name are checked at
+		// the call site that supplies the constant; a name that is never
+		// constant anywhere will surface there as a non-gridrdb literal
+		// or not at all — so only constants are checked.
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(nameArg.Pos(), "metric name %q escapes the dashboard contract — names must match gridrdb_[a-z_]+", name)
+		return
+	}
+	if prev, dup := firstSite[name]; dup && prev != call {
+		pass.Reportf(nameArg.Pos(), "metric %q is registered from more than one call site in this package — one metric, one owner", name)
+		return
+	}
+	firstSite[name] = call
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+func TestObsvReg(t *testing.T) {
+	linttest.Run(t, lint.ObsvReg, "testdata/obsvreg", "gridrdb/internal/dataaccess/lintfixture")
+}

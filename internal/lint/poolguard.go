@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolGuard enforces the PR 4 buffer-reuse invariant: once a value goes
+// back into a sync.Pool with Put, the putter no longer owns it. Another
+// goroutine may already be writing into it — a use after Put is a data
+// race that corrupts a *different* request's wire document, the nastiest
+// possible failure for the pooled encode buffers.
+//
+// The check is a linear scan per block: after `pool.Put(x)` (pool of
+// type sync.Pool), any later statement in the same block that mentions x
+// is flagged. defer pool.Put(x) is exempt — it runs at return, after
+// every use. Branch-local Puts are scanned within their own block, which
+// keeps the rule conservative and the diagnostics certain.
+var PoolGuard = &Analyzer{
+	Name: "poolguard",
+	Doc:  "a value handed to sync.Pool.Put must not be referenced afterwards — ownership moved to the pool",
+	Run:  runPoolGuard,
+}
+
+func runPoolGuard(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if block, ok := n.(*ast.BlockStmt); ok {
+				scanPoolBlock(pass, block.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scanPoolBlock flags references to a pooled value in statements after
+// its Put within one statement list.
+func scanPoolBlock(pass *Pass, stmts []ast.Stmt) {
+	// put maps a Put value's object to the Put position, in statement
+	// order; later statements referencing it are violations.
+	put := map[types.Object]bool{}
+	for _, stmt := range stmts {
+		if len(put) > 0 {
+			for obj := range put {
+				if usesObject(pass.Info, stmt, obj) {
+					pass.Reportf(stmt.Pos(), "%s is used after being returned to its sync.Pool — the pool (and any other goroutine) owns it now", obj.Name())
+					delete(put, obj) // one report per value
+				}
+			}
+		}
+		if obj := poolPutArg(pass, stmt); obj != nil {
+			put[obj] = true
+		}
+	}
+}
+
+// poolPutArg returns the object handed to a non-deferred
+// sync.Pool.Put(x) in stmt, when x is a plain (possibly &-taken)
+// identifier.
+func poolPutArg(pass *Pass, stmt ast.Stmt) types.Object {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || calleeName(call) != "Put" || len(call.Args) != 1 {
+		return nil
+	}
+	recv := receiverType(pass.Info, call)
+	if recv == nil || !isNamedType(recv, "sync", "Pool") {
+		return nil
+	}
+	arg := ast.Unparen(call.Args[0])
+	if un, ok := arg.(*ast.UnaryExpr); ok {
+		arg = ast.Unparen(un.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Info.Uses[id]
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+func TestPoolGuard(t *testing.T) {
+	linttest.Run(t, lint.PoolGuard, "testdata/poolguard", "gridrdb/internal/dataaccess/lintfixture")
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RowIterClose enforces the PR 3 invariant: a sqlengine.RowIter obtained
+// from a call (QueryStreamContext, OpenCursor's stream, the relay
+// constructors, scanRows, ...) must be closed or have its ownership
+// transferred. An iterator that is only ever Next()ed and then dropped
+// pins a backend connection, a cursor slot, or a remote peer's producing
+// query until a TTL reaper notices — the exact leak class the
+// goroutine-leak tests chase dynamically, caught here statically.
+//
+// A tracked iterator is satisfied when the function either calls
+// x.Close() (directly or deferred), returns x, passes x to another call,
+// or stores x into a variable, field or composite literal (ownership
+// moved — the receiving code is then on the hook). Discarding an
+// iterator-typed result into the blank identifier is always a finding.
+var RowIterClose = &Analyzer{
+	Name: "rowiterclose",
+	Doc:  "a RowIter returned by a call must be Closed, returned, or handed off on every path — never drained and dropped",
+	Run:  runRowIterClose,
+}
+
+func runRowIterClose(pass *Pass) error {
+	iterType := lookupNamedType(pass.Pkg, pkgSQLEngine, "RowIter")
+	if iterType == nil {
+		return nil // package nowhere near the streaming stack
+	}
+	iterIface, ok := iterType.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	isIter := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if types.Implements(t, iterIface) || types.Implements(types.NewPointer(t), iterIface) {
+			return true
+		}
+		return isNamedType(t, pkgSQLEngine, "RowIter")
+	}
+
+	for _, fd := range funcDecls(pass) {
+		parents := buildParents(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				t := resultType(pass.Info, call, i, len(as.Lhs))
+				if !isIter(t) {
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(id.Pos(), "row iterator from %s discarded — close it or don't open it", calleeLabel(pass.Info, call))
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					// Plain assignment to an existing variable or field:
+					// ownership transferred to whatever it names.
+					continue
+				}
+				if !iterResolved(pass.Info, fd, parents, obj) {
+					pass.Reportf(id.Pos(), "row iterator %s from %s is never closed, returned, or handed off — a dropped iterator pins its backend until the TTL reaper", id.Name, calleeLabel(pass.Info, call))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resultType is the type of the i'th value produced by call when
+// assigned into n LHS slots.
+func resultType(info *types.Info, call *ast.CallExpr, i, n int) types.Type {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		if i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+		return nil
+	}
+	if n == 1 && i == 0 {
+		return tv.Type
+	}
+	return nil
+}
+
+// iterResolved scans the whole function for a use of obj that closes it
+// or moves its ownership.
+func iterResolved(info *types.Info, fd *ast.FuncDecl, parents parentMap, obj types.Object) bool {
+	resolved := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if resolved {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		switch use := classifyIterUse(parents, id); use {
+		case useClose, useEscape:
+			resolved = true
+		}
+		return true
+	})
+	return resolved
+}
+
+type iterUse int
+
+const (
+	useBenign iterUse = iota // Next/Columns/nil-check: consumes, doesn't release
+	useClose
+	useEscape
+)
+
+func classifyIterUse(parents parentMap, id *ast.Ident) iterUse {
+	parent := parents[id]
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel {
+			switch sel.Sel.Name {
+			case "Close":
+				return useClose
+			case "Next", "Columns":
+				return useBenign
+			}
+			// Some other method (ForEach drains and closes; unknown
+			// methods get the benefit of the doubt).
+			return useEscape
+		}
+		// Method value or field access taken off the iterator.
+		return useEscape
+	}
+	if bin, ok := parent.(*ast.BinaryExpr); ok {
+		if bin.Op == token.EQL || bin.Op == token.NEQ {
+			return useBenign
+		}
+	}
+	// Argument position, return statement, RHS of another assignment,
+	// composite literal element, channel send, ... : ownership moves.
+	return useEscape
+}
+
+// calleeLabel names the call for diagnostics.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if obj := calleeObj(info, call); obj != nil {
+		return obj.Name()
+	}
+	return "call"
+}

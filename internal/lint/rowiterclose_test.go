@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+func TestRowIterClose(t *testing.T) {
+	linttest.Run(t, lint.RowIterClose, "testdata/rowiterclose", "gridrdb/internal/dataaccess/lintfixture")
+}

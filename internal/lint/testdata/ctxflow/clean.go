@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// query is the documented convenience-wrapper shape: no Context
+// parameter, a doc comment, and a body that is exactly one return into
+// the *Context variant. ctxflow recognizes it without a directive.
+func query(sql string) error {
+	return queryContext(context.Background(), sql)
+}
+
+// threaded passes its context down and derives children from it.
+func threaded(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return queryContext(ctx, "SELECT 1")
+}
+
+// derivedShadow re-defines ctx in an inner scope but derives it from the
+// parameter, keeping the cancellation chain intact.
+func derivedShadow(ctx context.Context) error {
+	{
+		ctx := context.WithValue(ctx, ctxKey{}, "v")
+		return queryContext(ctx, "SELECT 1")
+	}
+}
+
+type ctxKey struct{}
+
+// directiveExemption is deliberately detached, with the audited escape
+// hatch: the reason rides with the directive.
+func directiveExemption() error {
+	//lint:ignore ctxflow fixture: detached close must survive the request context, bounded by its own timeout
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return queryContext(ctx, "SELECT 1")
+}

@@ -1,0 +1,37 @@
+// Package fixture holds ctxflow positive cases: the harness type-checks
+// it under a request-path import path, so every rule is live.
+package fixture
+
+import "context"
+
+// detached is captured at package init and outlives every request.
+var detached = context.Background() // want `ctxflow: context.Background in package-level initializer`
+
+func queryContext(ctx context.Context, sql string) error { return nil }
+
+// hasParam already receives a context but detaches anyway.
+func hasParam(ctx context.Context) error {
+	return queryContext(context.Background(), "SELECT 1") // want `ctxflow: context.Background inside a function that already receives ctx`
+}
+
+// todoToo is the same hole spelled TODO.
+func todoToo(ctx context.Context) error {
+	return queryContext(context.TODO(), "SELECT 1") // want `ctxflow: context.TODO inside a function that already receives ctx`
+}
+
+// notAWrapper has no ctx parameter and is not the single-return wrapper
+// shape: the Background call sits behind other statements.
+func notAWrapper() error {
+	sql := "SELECT 1"
+	return queryContext(context.Background(), sql) // want `ctxflow: context.Background in request-path code detaches this work`
+}
+
+// shadowed hides the caller's ctx behind an unrelated one; everything
+// below the shadow stops observing the caller's cancellation.
+func shadowed(ctx context.Context, detach func() context.Context) error {
+	if true {
+		ctx := detach() // want `ctxflow: ctx := shadows the ctx parameter with an unrelated context`
+		return queryContext(ctx, "SELECT 1")
+	}
+	return nil
+}

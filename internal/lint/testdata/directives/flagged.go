@@ -1,0 +1,32 @@
+// Package fixture exercises the suppression-directive discipline itself:
+// a reasoned directive silences its finding, while malformed and stale
+// directives become findings of their own. Directive diagnostics land on
+// the directive's line, so their wants use the /* want */ block form.
+package fixture
+
+import "context"
+
+// suppressed carries a reasoned exemption: no diagnostic escapes, and the
+// directive counts as used.
+func suppressed() context.Context {
+	//lint:ignore ctxflow fixture exemption: this detachment is the documented test case for a reasoned suppression
+	return context.Background()
+}
+
+// missingReason has an analyzer name but no justification, so the
+// directive is rejected and the finding it sat on still escapes.
+func missingReason() context.Context {
+	/* want `directive: lint:ignore directive needs an analyzer name and a human-readable reason` */ //lint:ignore ctxflow
+	return context.Background()                                                                      // want `ctxflow: context.Background in request-path code`
+}
+
+// unknownVerb uses a directive verb gridlint does not recognize.
+func unknownVerb() {
+	/* want `directive: unknown lint directive` */ //lint:nolint ctxflow wishful thinking
+}
+
+// stale suppresses nothing: the line below it is clean.
+func stale(ctx context.Context) context.Context {
+	/* want `directive: lint:ignore ctxflow directive suppresses nothing` */ //lint:ignore ctxflow nothing here actually detaches
+	return ctx
+}

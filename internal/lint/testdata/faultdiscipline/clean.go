@@ -1,0 +1,39 @@
+package fixture
+
+import (
+	"context"
+	"fmt"
+
+	"gridrdb/internal/clarens"
+)
+
+// registeredCode uses a named constant from the clarens registry.
+func registeredCode(msg string) error {
+	return &clarens.Fault{Code: clarens.FaultAuth, Message: msg}
+}
+
+// refault preserves an existing fault's registered code.
+func refault(f *clarens.Fault, note string) error {
+	return &clarens.Fault{Code: f.Code, Message: note + ": " + f.Message}
+}
+
+func registerClean(srv *clarens.Server, backend func(context.Context, string) (interface{}, error)) {
+	srv.Register("fixture.good", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) != 1 {
+			// A deliberate argument diagnostic: no wrapped chain, no
+			// internals — just the calling convention.
+			return nil, fmt.Errorf("fixture.good requires (sql)")
+		}
+		sql, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("fixture.good: sql must be a string")
+		}
+		res, err := backend(ctx, sql)
+		if err != nil {
+			// Returned untouched: the dispatcher's FaultFor classifies it
+			// (context errors to FaultCancelled, faults pass through).
+			return nil, err
+		}
+		return res, nil
+	})
+}

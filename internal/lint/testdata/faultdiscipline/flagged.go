@@ -1,0 +1,32 @@
+// Package fixture holds faultdiscipline positive cases.
+package fixture
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gridrdb/internal/clarens"
+)
+
+// mintedCode invents a fault code no client can classify.
+func mintedCode() error {
+	return &clarens.Fault{Code: 999, Message: "who knows what 999 means"} // want `faultdiscipline: clarens.Fault built with an unregistered code`
+}
+
+func register(srv *clarens.Server, backend func(context.Context, string) (interface{}, error)) {
+	srv.Register("fixture.bad", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		if len(args) != 1 {
+			return nil, errors.New("internal: arg table corrupt") // want `faultdiscipline: registered handler returns errors.New`
+		}
+		sql, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("fixture.bad: sql must be a string")
+		}
+		res, err := backend(ctx, sql)
+		if err != nil {
+			return nil, fmt.Errorf("backend %q blew up: %w", sql, err) // want `faultdiscipline: registered handler returns fmt.Errorf\(%w, ...\)`
+		}
+		return res, nil
+	})
+}

@@ -1,0 +1,25 @@
+package fixture
+
+import (
+	"sync/atomic"
+
+	"gridrdb/internal/obsv"
+)
+
+type cleanStats struct {
+	rlsLookups atomic.Int64
+}
+
+func registerClean(r *obsv.Registry, s *cleanStats) {
+	r.Counter("gridrdb_queries_total", "Completed queries.")
+	r.Histogram("gridrdb_query_duration_seconds", "End-to-end latency.", nil)
+	// A typed atomic exposed through the registry is the blessed bridge
+	// for stats that predate obsv.
+	r.CounterFunc("gridrdb_rls_lookups_total", "RLS lookups issued.", func() int64 {
+		return s.rlsLookups.Load()
+	})
+}
+
+// load keeps a typed atomic for non-metric bookkeeping; the analyzer
+// only rejects the package-level atomic.AddX legacy form.
+func (s *cleanStats) load() int64 { return s.rlsLookups.Load() }

@@ -1,0 +1,24 @@
+// Package fixture holds obsvreg positive cases.
+package fixture
+
+import (
+	"sync/atomic"
+
+	"gridrdb/internal/obsv"
+)
+
+type stats struct {
+	queries int64
+}
+
+func registerBad(r *obsv.Registry, route string) {
+	r.Counter("gridrdb_Queries_Total", "Mixed case escapes the naming contract.") // want `obsvreg: metric name "gridrdb_Queries_Total" escapes the dashboard contract`
+	r.Gauge("cache_bytes", "Missing the gridrdb_ namespace.")                     // want `obsvreg: metric name "cache_bytes" escapes the dashboard contract`
+	r.Counter("gridrdb_relay_opens_total", "First site owns the name.")
+	r.Counter("gridrdb_relay_opens_total", "Second site fights over it.") // want `obsvreg: metric "gridrdb_relay_opens_total" is registered from more than one call site`
+}
+
+// legacyCounter is the pre-PR 6 bare-int idiom: invisible to /metrics.
+func (s *stats) legacyCounter() {
+	atomic.AddInt64(&s.queries, 1) // want `obsvreg: legacy AddInt64 counter on the request path`
+}

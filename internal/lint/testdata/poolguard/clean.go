@@ -1,0 +1,32 @@
+package fixture
+
+import "bytes"
+
+// renderThenPut finishes every use before the hand-back.
+func renderThenPut() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString("payload")
+	out := b.String()
+	bufPool.Put(b)
+	return out
+}
+
+// deferredPut runs at return, after every use — the idiomatic shape.
+func deferredPut() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.Reset()
+	b.WriteString("payload")
+	return b.String()
+}
+
+// conditionalPut only releases oversized buffers in a branch; the branch
+// is its own scan scope and nothing follows the Put inside it.
+func conditionalPut(max int) {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.WriteString("payload")
+	if b.Cap() <= max {
+		bufPool.Put(b)
+	}
+}

@@ -1,0 +1,24 @@
+// Package fixture holds poolguard positive cases.
+package fixture
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// useAfterPut is the PR 4 hazard: another goroutine may already own b.
+func useAfterPut() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	b.WriteString("payload")
+	bufPool.Put(b)
+	return b.String() // want `poolguard: b is used after being returned to its sync.Pool`
+}
+
+// putThenWrite corrupts a buffer some other request just picked up.
+func putThenWrite(p *sync.Pool, b *bytes.Buffer) {
+	p.Put(b)
+	b.WriteString("stomp") // want `poolguard: b is used after being returned to its sync.Pool`
+}

@@ -1,0 +1,56 @@
+package fixture
+
+import (
+	"io"
+
+	"gridrdb/internal/sqlengine"
+)
+
+// deferred is the standard shape: open, check, defer Close.
+func deferred() (int, error) {
+	it, err := openStream("SELECT * FROM events")
+	if err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	n := 0
+	for {
+		_, err := it.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// returned transfers ownership to the caller.
+func returned() (sqlengine.RowIter, error) {
+	it, err := openStream("SELECT 1")
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// handedOff transfers ownership to a consumer (Drain closes it).
+func handedOff() (*sqlengine.ResultSet, error) {
+	it, err := openStream("SELECT 1")
+	if err != nil {
+		return nil, err
+	}
+	return sqlengine.Drain(it)
+}
+
+// wrapped stores the iterator in a struct that owns it from then on.
+type owner struct{ it sqlengine.RowIter }
+
+func wrapped() (*owner, error) {
+	it, err := openStream("SELECT 1")
+	if err != nil {
+		return nil, err
+	}
+	return &owner{it: it}, nil
+}

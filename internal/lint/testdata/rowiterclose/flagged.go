@@ -1,0 +1,45 @@
+// Package fixture holds rowiterclose positive cases.
+package fixture
+
+import (
+	"io"
+
+	"gridrdb/internal/sqlengine"
+)
+
+func openStream(sql string) (sqlengine.RowIter, error) { return nil, nil }
+
+// drainedAndDropped is the canonical leak: the iterator is consumed but
+// never closed, returned, or handed off — the backend stays pinned.
+func drainedAndDropped() (int, error) {
+	it, err := openStream("SELECT * FROM events") // want `rowiterclose: row iterator it from openStream is never closed`
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		_, err := it.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// discarded throws the iterator away at the call site.
+func discarded() error {
+	_, err := openStream("SELECT 1") // want `rowiterclose: row iterator from openStream discarded`
+	return err
+}
+
+// onlyColumns never even iterates, and still leaks.
+func onlyColumns() ([]string, error) {
+	it, err := openStream("SELECT 1") // want `rowiterclose: row iterator it from openStream is never closed`
+	if err != nil {
+		return nil, err
+	}
+	return it.Columns(), nil
+}

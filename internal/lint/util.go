@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Import paths the analyzers key on.
+const (
+	pkgClarens   = "gridrdb/internal/clarens"
+	pkgSQLEngine = "gridrdb/internal/sqlengine"
+	pkgObsv      = "gridrdb/internal/obsv"
+)
+
+// requestPathPrefixes are the packages on the per-query serving path —
+// the code where a detached context, a leaked iterator or lock-held I/O
+// becomes a production incident rather than a style issue. Fixture
+// packages under these prefixes inherit the rules, which is how the
+// analyzers' testdata opts in.
+var requestPathPrefixes = []string{
+	"gridrdb/internal/dataaccess",
+	"gridrdb/internal/unity",
+	"gridrdb/internal/clarens",
+	"gridrdb/internal/qcache",
+	"gridrdb/internal/poolral",
+	"gridrdb/internal/rls",
+}
+
+// isRequestPath reports whether a package path is on the serving path.
+func isRequestPath(path string) bool {
+	for _, p := range requestPathPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isNamedType reports whether t (after deref) is the named type
+// path.name.
+func isNamedType(t types.Type, path, name string) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// calleeObj resolves the function or method object a call invokes, or
+// nil (e.g. a call of a function-typed variable or a conversion).
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes one of the named functions (or
+// methods) declared in the package at path. An empty names list matches
+// any function from that package.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, path string, names ...string) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != path {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverType returns the static type of the receiver expression of a
+// method-call selector, or nil if call isn't one.
+func receiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok {
+		return s.Recv()
+	}
+	return nil
+}
+
+// lookupNamedType finds a named type by walking from's transitive
+// imports (including from itself). Returns nil when the package isn't in
+// the import graph — analyzers treat that as "rule not applicable".
+func lookupNamedType(from *types.Package, path, name string) types.Type {
+	var find func(p *types.Package, seen map[*types.Package]bool) *types.Package
+	find = func(p *types.Package, seen map[*types.Package]bool) *types.Package {
+		if p.Path() == path {
+			return p
+		}
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if got := find(imp, seen); got != nil {
+				return got
+			}
+		}
+		return nil
+	}
+	p := find(from, map[*types.Package]bool{})
+	if p == nil {
+		return nil
+	}
+	obj := p.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
+// parentMap records each node's enclosing node within one file.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(root ast.Node) parentMap {
+	parents := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// funcDecls yields every function declaration with a body in the pass.
+func funcDecls(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

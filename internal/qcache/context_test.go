@@ -6,12 +6,15 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gridrdb/internal/leaktest"
 )
 
 // TestDoFollowerAbandon: one follower abandoning a coalesced wait returns
 // its ctx.Err() promptly, while the leader's shared computation survives,
 // completes, and is cached.
 func TestDoFollowerAbandon(t *testing.T) {
+	defer leaktest.Check(t)()
 	c := New[int](Options[int]{MaxEntries: 8})
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -64,6 +67,7 @@ func TestDoFollowerAbandon(t *testing.T) {
 // value because the computation runs on a context detached from any one
 // caller.
 func TestDoLeaderAbandonFollowerSurvives(t *testing.T) {
+	defer leaktest.Check(t)()
 	c := New[int](Options[int]{MaxEntries: 8})
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -114,6 +118,7 @@ func TestDoLeaderAbandonFollowerSurvives(t *testing.T) {
 // and a later caller starts a fresh computation instead of inheriting the
 // doomed one.
 func TestDoLastWaiterCancelsComputation(t *testing.T) {
+	defer leaktest.Check(t)()
 	c := New[int](Options[int]{MaxEntries: 8})
 	started := make(chan struct{})
 	cancelled := make(chan struct{})

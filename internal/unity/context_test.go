@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"testing"
+
+	"gridrdb/internal/leaktest"
 )
 
 // TestQueryContextCancelled is the regression test for the scatter-gather
@@ -11,6 +13,10 @@ import (
 // surface ctx.Err(), never a nil-result integration panic.
 func TestQueryContextCancelled(t *testing.T) {
 	f := buildFederation(t)
+	// Snapshot after the federation is up: its sql.DB pools close in
+	// t.Cleanup, which runs after this deferred check. The query path
+	// itself must strand nothing.
+	defer leaktest.Check(t)()
 	q := "SELECT e.event_id, r.detector FROM events e JOIN runs r ON e.run = r.run"
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -32,6 +38,7 @@ func TestQueryContextCancelled(t *testing.T) {
 // TestQueryContextCancelledSequential covers the Parallel=false path too.
 func TestQueryContextCancelledSequential(t *testing.T) {
 	f := buildFederation(t)
+	defer leaktest.Check(t)()
 	f.Parallel = false
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
