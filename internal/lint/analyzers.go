@@ -13,3 +13,14 @@ func All() []*Analyzer {
 		PoolGuard,
 	}
 }
+
+// AllModule returns the whole-module (interprocedural) suite. These run
+// over the call graph and per-function summaries a single Load builds,
+// so the driver invokes them once per run, not once per package.
+func AllModule() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{
+		LockOrder,
+		GoroLeak,
+		WireConform,
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+// GoroLeak: every goroutine reachable from the request path must carry
+// a termination witness. A federation node is long-lived; a handler
+// that spawns a goroutine blocking forever on a channel nobody closes
+// leaks one goroutine per request, and the node dies by accumulation
+// days later — the classic grid-service failure mode, invisible in any
+// single request.
+//
+// The check is interprocedural: for each `go` statement reachable from
+// a request-path package (dataaccess, unity, clarens, qcache, poolral,
+// rls), the spawned body's transitive summary must either be bounded
+// (no potentially-unbounded blocking construct) or contain a witness:
+// a ctx.Done()/deadline select, a receive or range on a channel the
+// module closes, or a context.WithTimeout/WithDeadline bound.
+//
+// A goroutine that is unbounded by design (a server accept loop whose
+// lifetime IS the process lifetime) is suppressed with
+//
+//	//lint:ignore goroleak <why this goroutine's lifetime is the process>
+//
+// on the `go` statement's line; document the reason in
+// docs/INVARIANTS.md.
+
+var GoroLeak = &ModuleAnalyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine reachable from the request path has a termination witness (ctx-done, deadline, or module-closed channel)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *ModulePass) error {
+	g := pass.Graph
+	reach := g.Reachable(g.requestPathRoots())
+	for _, node := range g.Nodes {
+		if !reach[node] {
+			continue
+		}
+		for _, site := range node.GoSites {
+			if len(site.Callees) == 0 {
+				continue // external spawned function: nothing to prove
+			}
+			sum := g.GoSummary(site)
+			if !sum.Unbounded || sum.Witness {
+				continue
+			}
+			pass.Reportf(site.Pos,
+				"goroutine spawned on the request path can block forever (%s) with no termination witness — select on ctx.Done()/a closed channel, add a deadline, or //lint:ignore goroleak <reason> if its lifetime is the process",
+				DescribePos(pass.Fset, sum.UnboundedPos))
+		}
+	}
+	return nil
+}

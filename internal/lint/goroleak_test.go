@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+// The fixture spawns goroutines with and without termination
+// witnesses, including a leak that is only visible interprocedurally
+// (the unbounded loop lives in a sibling package) and a by-design
+// process-lifetime loop suppressed via //lint:ignore.
+func TestGoroLeak(t *testing.T) {
+	linttest.RunModule(t, []*lint.ModuleAnalyzer{lint.GoroLeak},
+		"testdata/goroleak", "gridrdb/internal/dataaccess/lintfixture/goroleak")
+}

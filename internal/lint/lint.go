@@ -5,7 +5,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -129,38 +128,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 
-	dirs := parseDirectives(pkg.Fset, pkg.Files)
-	var out []Diagnostic
-	for _, diag := range raw {
-		suppressed := false
-		for _, d := range dirs {
-			if d.matches(diag) {
-				d.used = true
-				suppressed = true
-			}
-		}
-		if !suppressed {
-			out = append(out, diag)
-		}
-	}
-	for _, d := range dirs {
-		switch {
-		case d.bad != "":
-			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "directive", Message: d.bad})
-		case !d.used:
-			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "directive",
-				Message: fmt.Sprintf("lint:ignore %s directive suppresses nothing — delete it", d.analyzer)})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
+	out := applyDirectives(raw, parseDirectives(pkg.Fset, pkg.Files))
+	sortDiagnostics(out)
 	return out, nil
 }

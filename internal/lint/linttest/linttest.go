@@ -11,12 +11,14 @@ package linttest
 
 import (
 	"fmt"
+	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -194,4 +196,162 @@ func claim(wants []*want, file string, line int, msg string) bool {
 		}
 	}
 	return false
+}
+
+// fixtureImporter resolves the fixture's own packages to their locally
+// type-checked form and everything else through the shared export-data
+// importer — the same single-universe trick lint.Load uses, so
+// cross-package object identities hold inside a multi-package fixture.
+type fixtureImporter struct {
+	base  types.Importer
+	local map[string]*types.Package
+}
+
+func (f *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := f.local[path]; ok {
+		return p, nil
+	}
+	return f.base.Import(path)
+}
+
+// RunModule analyzes a multi-package fixture tree with module-wide
+// analyzers. Layout: .go files directly in dir form the base package
+// (import path basePkgPath); each subdirectory containing .go files is
+// a further package at basePkgPath + "/" + subdir. Fixture packages may
+// import each other; they are type-checked in dependency order. A
+// WIRE.md in dir is passed to the suite as the wire spec (so
+// wireconform fixtures carry their own protocol document), and its
+// `// want` annotations participate like any fixture file's.
+func RunModule(t *testing.T, ms []*lint.ModuleAnalyzer, dir, basePkgPath string) {
+	t.Helper()
+	fset, imp, err := loadImporter()
+	if err != nil {
+		t.Fatalf("linttest: loading export data: %v", err)
+	}
+
+	type fixturePkg struct {
+		path  string
+		files []string
+	}
+	byPath := map[string]*fixturePkg{}
+	var wants []*want
+	addFile := func(pkgPath, fn string) {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		p := byPath[pkgPath]
+		if p == nil {
+			p = &fixturePkg{path: pkgPath}
+			byPath[pkgPath] = p
+		}
+		p.files = append(p.files, fn)
+		wants = append(wants, parseWants(t, fn, src)...)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			if strings.HasSuffix(e.Name(), ".go") {
+				addFile(basePkgPath, filepath.Join(dir, e.Name()))
+			}
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for _, f := range sub {
+			if !f.IsDir() && strings.HasSuffix(f.Name(), ".go") {
+				addFile(basePkgPath+"/"+e.Name(), filepath.Join(dir, e.Name(), f.Name()))
+			}
+		}
+	}
+	if len(byPath) == 0 {
+		t.Fatalf("linttest: no Go files under %s", dir)
+	}
+
+	// Dependency order among the fixture's own packages (imports of
+	// anything else resolve through export data regardless of order).
+	deps := map[string][]string{}
+	for path, p := range byPath {
+		for _, fn := range p.files {
+			f, err := parser.ParseFile(token.NewFileSet(), fn, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("linttest: %v", err)
+			}
+			for _, spec := range f.Imports {
+				ip, _ := strconv.Unquote(spec.Path.Value)
+				if _, local := byPath[ip]; local && ip != path {
+					deps[path] = append(deps[path], ip)
+				}
+			}
+		}
+	}
+	var order []string
+	visited := map[string]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		switch visited[path] {
+		case 1:
+			t.Fatalf("linttest: fixture packages form an import cycle at %s", path)
+		case 2:
+			return
+		}
+		visited[path] = 1
+		for _, d := range deps[path] {
+			visit(d)
+		}
+		visited[path] = 2
+		order = append(order, path)
+	}
+	paths := make([]string, 0, len(byPath))
+	for path := range byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(path)
+	}
+
+	fimp := &fixtureImporter{base: imp, local: map[string]*types.Package{}}
+	var pkgs []*lint.Package
+	for _, path := range order {
+		fp := byPath[path]
+		sort.Strings(fp.files)
+		pkg, err := lint.TypeCheck(fset, fimp, path, fp.files)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		fimp.local[path] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+
+	// The fixture directory is the entire "module" under test, so
+	// absence checks (wireconform's stale-doc direction) are in scope.
+	suite := lint.Suite{Module: ms, FullModule: true}
+	wirePath := filepath.Join(dir, "WIRE.md")
+	if spec, err := os.ReadFile(wirePath); err == nil {
+		suite.WireSpec = spec
+		suite.WireSpecPath = wirePath
+		wants = append(wants, parseWants(t, wirePath, spec)...)
+	}
+
+	diags, err := lint.RunSuite(pkgs, suite)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Analyzer+": "+d.Message) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
 }

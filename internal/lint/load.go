@@ -134,10 +134,31 @@ func TypeCheck(fset *token.FileSet, imp types.Importer, path string, filenames [
 	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
+// unifyingImporter resolves module packages to their source-checked
+// types.Package when available, falling back to export data. This keeps
+// every analyzed package in one type-checking universe: a call in
+// package A to B.Foo resolves to the same types.Object that B's own
+// declarations define, which is what lets the interprocedural layer
+// (callgraph.go) key call-graph nodes and run types.Implements across
+// package boundaries.
+type unifyingImporter struct {
+	base    types.Importer
+	checked map[string]*types.Package
+}
+
+func (u *unifyingImporter) Import(path string) (*types.Package, error) {
+	if p, ok := u.checked[path]; ok {
+		return p, nil
+	}
+	return u.base.Import(path)
+}
+
 // Load type-checks every non-standard root package matched by patterns,
-// relative to dir (the module root or below). Dependencies are imported
-// from export data, so a full-repo load costs one `go list` plus one
-// parse+check of each analyzed package.
+// relative to dir (the module root or below). Stdlib dependencies are
+// imported from export data; analyzed packages are checked from source
+// in dependency order (`go list -deps` emits dependencies first) and
+// shared between each other, so all packages live in a single
+// type-checking universe.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	pkgs, err := goList(dir, nil, patterns)
 	if err != nil {
@@ -150,7 +171,10 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 	}
 	fset := token.NewFileSet()
-	imp := NewImporter(fset, exports)
+	imp := &unifyingImporter{
+		base:    NewImporter(fset, exports),
+		checked: make(map[string]*types.Package),
+	}
 
 	var out []*Package
 	for _, p := range pkgs {
@@ -165,6 +189,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		imp.checked[p.ImportPath] = pkg.Types
 		out = append(out, pkg)
 	}
 	return out, nil

@@ -1,0 +1,307 @@
+package lint
+
+// LockOrder upgrades lockscope's per-function rule ("don't block while
+// locked") to a module-wide one: locks are acquired in one global
+// order. It builds a lock-acquisition-order graph — an edge A→B means
+// some execution path acquires B (directly or anywhere down its call
+// tree) while holding A — and reports every cycle, including the ones
+// no single function exhibits: package P locks A and calls a callback
+// that package Q implements by locking B, while Q locks B and calls
+// into P, which locks A. Each package looks consistent; the module
+// deadlocks.
+//
+// Lock identity is (type, field): every instance of cursorRegistry.mu
+// is one vertex. That over-approximates (two *distinct* instances
+// acquired in a fixed order are safe) but it is the approximation a
+// global order needs — "the same field on two instances in two orders"
+// is exactly the AB/BA shape, and a self-edge (holding a T.mu while
+// acquiring another T.mu) is reported as its own cycle.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+var LockOrder = &ModuleAnalyzer{
+	Name: "lockorder",
+	Doc:  "all locks are acquired in one global order: any cycle in the module-wide acquisition graph is a potential deadlock",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one witnessed "B acquired while A held".
+type lockEdge struct {
+	from, to string
+	// pos is where B's acquisition became reachable with A held: the
+	// direct Lock call, or the call expression whose callee acquires B.
+	pos token.Pos
+	// via names the callee when the acquisition is indirect ("" for a
+	// direct Lock).
+	via string
+	// acquiredAt is B's representative acquisition site (for indirect
+	// edges, inside the callee tree).
+	acquiredAt token.Pos
+}
+
+func runLockOrder(pass *ModulePass) error {
+	g := pass.Graph
+	// Collect edges: scan every body linearly, tracking the held set the
+	// same way lockscope does, and cross held locks with both direct
+	// acquisitions and callee-summary acquisitions.
+	edges := map[[2]string]lockEdge{}
+	addEdge := func(e lockEdge) {
+		key := [2]string{e.from, e.to}
+		if have, ok := edges[key]; !ok || e.pos < have.pos {
+			edges[key] = e
+		}
+	}
+	for _, node := range g.Nodes {
+		scanLockOrder(g, node, addEdge)
+	}
+
+	// Condense the lock graph; any SCC with an internal edge is a cycle.
+	adj := map[string][]string{}
+	verts := map[string]bool{}
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		verts[key[0]], verts[key[1]] = true, true
+	}
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+	names := make([]string, 0, len(verts))
+	for v := range verts {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+
+	for _, comp := range stringSCCs(names, adj) {
+		inComp := map[string]bool{}
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		var cycleEdges []lockEdge
+		for key, e := range edges {
+			if inComp[key[0]] && inComp[key[1]] {
+				cycleEdges = append(cycleEdges, e)
+			}
+		}
+		if len(cycleEdges) == 0 {
+			continue // single vertex, no self-loop
+		}
+		sort.Slice(cycleEdges, func(i, j int) bool {
+			a, b := cycleEdges[i], cycleEdges[j]
+			pa, pb := pass.Fset.Position(a.pos), pass.Fset.Position(b.pos)
+			if pa.Filename != pb.Filename {
+				return pa.Filename < pb.Filename
+			}
+			if pa.Line != pb.Line {
+				return pa.Line < pb.Line
+			}
+			return a.from+a.to < b.from+b.to
+		})
+		var parts []string
+		for _, e := range cycleEdges {
+			parts = append(parts, describeEdge(pass.Fset, e))
+		}
+		head := cycleEdges[0]
+		if len(comp) == 1 {
+			pass.Reportf(head.pos,
+				"lock self-cycle on %s: %s — a second instance (or re-entry) deadlocks; impose a single acquisition order or restructure",
+				shortLock(head.from), strings.Join(parts, "; "))
+			continue
+		}
+		pass.Reportf(head.pos,
+			"lock-order cycle among %s: %s — impose one global acquisition order",
+			shortLockList(comp), strings.Join(parts, "; "))
+	}
+	return nil
+}
+
+// scanLockOrder walks one body in statement order tracking held locks,
+// emitting acquisition-order edges.
+func scanLockOrder(g *Graph, node *Node, addEdge func(lockEdge)) {
+	info := node.Pkg.Info
+	var scan func(stmts []ast.Stmt, held map[string]token.Pos)
+	checkExpr := func(n ast.Node, held map[string]token.Pos) {
+		if len(held) == 0 {
+			return
+		}
+		skip := childStmts(n)
+		ast.Inspect(n, func(x ast.Node) bool {
+			if skip[x] {
+				return false
+			}
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false // separate node, separate discipline
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, recv, isLock := lockStateCall(info, call); isLock {
+				if name == "Lock" || name == "RLock" {
+					if to := lockIdent(info, recv); to != "" {
+						// from == to is the self-cycle case: re-entry, or a
+						// second instance of the same (type, field).
+						for from := range held {
+							addEdge(lockEdge{from: from, to: to, pos: call.Pos(), acquiredAt: call.Pos()})
+						}
+					}
+				}
+				return true
+			}
+			// A call while locked: everything the callee tree may acquire
+			// is acquired while held.
+			for _, callee := range g.resolveCall(node, call, nil, nil) {
+				sum := callee.Summary()
+				for to, at := range sum.Acquires {
+					for from := range held {
+						addEdge(lockEdge{from: from, to: to, pos: call.Pos(), via: callee.Name, acquiredAt: at})
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan = func(stmts []ast.Stmt, held map[string]token.Pos) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if name, recv, ok := lockStateCall(info, call); ok {
+						id := lockIdent(info, recv)
+						checkExpr(stmt, held) // edges from currently-held to this acquisition
+						if id != "" {
+							switch name {
+							case "Lock", "RLock":
+								held[id] = call.Pos()
+							case "Unlock", "RUnlock":
+								delete(held, id)
+							}
+						}
+						continue
+					}
+				}
+			case *ast.DeferStmt:
+				if name, _, ok := lockStateCall(info, s.Call); ok && (name == "Unlock" || name == "RUnlock") {
+					continue // releases at return; stays held for the scan
+				}
+			}
+			checkExpr(stmt, held)
+			for _, body := range nestedBlocks(stmt) {
+				scan(body, copyHeld(held))
+			}
+		}
+	}
+	scan(node.Body.List, map[string]token.Pos{})
+}
+
+// childStmts marks the statements nested one level under n, so
+// checkExpr does not double-visit what scan recurses into.
+func childStmts(n ast.Node) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	if stmt, ok := n.(ast.Stmt); ok {
+		for _, blocks := range nestedBlocks(stmt) {
+			for _, s := range blocks {
+				out[s] = true
+			}
+		}
+	}
+	return out
+}
+
+func describeEdge(fset *token.FileSet, e lockEdge) string {
+	if e.via != "" {
+		return fmt.Sprintf("%s → %s (call at %s via %s, acquired at %s)",
+			shortLock(e.from), shortLock(e.to), DescribePos(fset, e.pos), e.via, DescribePos(fset, e.acquiredAt))
+	}
+	return fmt.Sprintf("%s → %s (at %s)", shortLock(e.from), shortLock(e.to), DescribePos(fset, e.pos))
+}
+
+// shortLock trims the module path prefix off a lock identity for
+// readable messages: "gridrdb/internal/qcache.shard.mu" → "qcache.shard.mu".
+func shortLock(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func shortLockList(ids []string) string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = shortLock(id)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+// stringSCCs is Tarjan over a string-keyed graph, deterministic given
+// sorted inputs. Components are returned in reverse topological order.
+func stringSCCs(verts []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	type frame struct {
+		v string
+		i int
+	}
+	for _, root := range verts {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succ := adj[f.v]
+			if f.i < len(succ) {
+				w := succ[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Strings(comp)
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}

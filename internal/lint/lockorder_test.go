@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+// The fixture seeds the canonical AB/BA deadlock across two packages
+// (a locks L1→L2, b locks L2→L1) plus a (type, field) self-cycle; the
+// clean file holds a consistent global order.
+func TestLockOrder(t *testing.T) {
+	linttest.RunModule(t, []*lint.ModuleAnalyzer{lint.LockOrder},
+		"testdata/lockorder", "gridrdb/internal/dataaccess/lintfixture/lockorder")
+}

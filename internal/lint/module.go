@@ -1,0 +1,177 @@
+package lint
+
+// Module-wide analysis: a ModuleAnalyzer sees every package at once,
+// plus the call graph and per-function summaries, so it can check
+// properties no single function or package exhibits — lock-order
+// cycles spanning packages, goroutine lifetimes discovered through
+// calls, wire registrations diffed against the protocol document.
+//
+// RunSuite is the driver entry point: it runs the per-package analyzers
+// and the module analyzers over one load, then applies the module's
+// //lint:ignore directives to the combined findings — a directive for a
+// module analyzer must not be reported "unused" by the per-package
+// pass, so suppression has to happen after both layers ran.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ModuleAnalyzer is one whole-module check.
+type ModuleAnalyzer struct {
+	Name string
+	// Doc is the one-line rule statement shown by `gridlint -list`.
+	Doc string
+	Run func(*ModulePass) error
+}
+
+// ModulePass carries one module analyzer's view of the whole load.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *Graph
+	// WireSpec is the contents of docs/WIRE.md (nil when the driver ran
+	// without one — wireconform then has nothing to check against).
+	WireSpec []byte
+	// WireSpecPath names the spec file for diagnostics about the
+	// document itself.
+	WireSpecPath string
+	// FullModule reports that the load covers the entire module. Checks
+	// about *absence* (a documented method never registered anywhere)
+	// are only sound then; a partial load skips them rather than blame
+	// packages it never saw.
+	FullModule bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at a source position.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportAt(p.Fset.Position(pos), format, args...)
+}
+
+// ReportAt records a finding at an arbitrary resolved position —
+// including positions in non-Go files such as the wire spec.
+func (p *ModulePass) ReportAt(pos token.Position, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite bundles everything one gridlint invocation runs.
+type Suite struct {
+	Analyzers []*Analyzer
+	Module    []*ModuleAnalyzer
+	// WireSpec / WireSpecPath feed wireconform (may be nil/empty).
+	WireSpec     []byte
+	WireSpecPath string
+	// FullModule: the load covers every package in the module, so
+	// absence checks are sound. Drivers running partial patterns leave
+	// it false.
+	FullModule bool
+}
+
+// RunSuite loads nothing itself: it runs the suite over already-loaded
+// packages, builds the call graph and summaries once, and returns the
+// surviving diagnostics sorted by position. Directives from every
+// package apply to the combined per-package + module findings;
+// malformed and unused directives surface as "directive" findings.
+func RunSuite(pkgs []*Package, suite Suite) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range suite.Analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: running %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+
+	if len(suite.Module) > 0 {
+		g := BuildGraph(pkgs)
+		g.ComputeSummaries()
+		for _, a := range suite.Module {
+			pass := &ModulePass{
+				Analyzer:     a,
+				Fset:         fset,
+				Pkgs:         pkgs,
+				Graph:        g,
+				WireSpec:     suite.WireSpec,
+				WireSpecPath: suite.WireSpecPath,
+				FullModule:   suite.FullModule,
+				diags:        &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("running %s: %w", a.Name, err)
+			}
+		}
+	}
+
+	var dirs []*directive
+	for _, pkg := range pkgs {
+		dirs = append(dirs, parseDirectives(pkg.Fset, pkg.Files)...)
+	}
+	out := applyDirectives(raw, dirs)
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// applyDirectives suppresses findings covered by directives and turns
+// malformed/unused directives into findings of their own.
+func applyDirectives(raw []Diagnostic, dirs []*directive) []Diagnostic {
+	var out []Diagnostic
+	for _, diag := range raw {
+		suppressed := false
+		for _, d := range dirs {
+			if d.matches(diag) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.bad != "":
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "directive", Message: d.bad})
+		case !d.used:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: "directive",
+				Message: fmt.Sprintf("lint:ignore %s directive suppresses nothing — delete it", d.analyzer)})
+		}
+	}
+	return out
+}
+
+func sortDiagnostics(out []Diagnostic) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+}

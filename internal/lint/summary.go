@@ -1,0 +1,373 @@
+package lint
+
+// Per-function summaries, computed bottom-up over the call graph's SCC
+// condensation (callgraph.go). A summary answers, for one function and
+// everything it synchronously reaches:
+//
+//   - Acquires: which locks (by (type, field) identity) may be taken.
+//     lockorder turns "held here" × "callee acquires" into global
+//     acquisition-order edges.
+//   - Witness / Unbounded: does the body contain a termination witness
+//     (ctx-done, deadline, receive from a channel the module closes) /
+//     a potentially-unbounded blocking construct (condition-less for,
+//     bare channel op, witness-less select). goroleak flags a spawned
+//     body with Unbounded && !Witness.
+//   - FaultCodes: which clarens.Fault* constants reachable code puts in
+//     a Fault literal. wireconform diffs them against docs/WIRE.md.
+//
+// Effects of goroutines a function spawns are NOT part of its summary —
+// they run asynchronously — which is exactly why go statements carry
+// their own GoSites and goroleak checks each spawned body separately.
+// Within an SCC (mutual recursion) every member gets the union of the
+// component, the sound fixpoint.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Summary is the bottom-up-propagated facts of one node.
+type Summary struct {
+	// Acquires maps lock identity ("pkg.Type.field" or a variable's
+	// qualified name) to one representative acquisition position.
+	Acquires map[string]token.Pos
+	// Witness: the body (transitively) contains a termination witness.
+	Witness bool
+	// Unbounded: the body (transitively) contains a construct that can
+	// block or loop forever absent a witness. UnboundedPos points at the
+	// first such construct for diagnostics.
+	Unbounded    bool
+	UnboundedPos token.Pos
+	// FaultCodes maps a clarens fault-constant name used as a Fault
+	// literal's Code to one representative position.
+	FaultCodes map[string]token.Pos
+}
+
+// Summary returns the node's computed summary (valid after
+// ComputeSummaries).
+func (n *Node) Summary() *Summary { return &n.summary }
+
+// ComputeSummaries fills every node's summary, callees first.
+func (g *Graph) ComputeSummaries() {
+	// Direct facts per node.
+	direct := make([]Summary, len(g.Nodes))
+	for i, n := range g.Nodes {
+		direct[i] = g.directFacts(n)
+	}
+	// Propagate over the condensation: g.SCCs is bottom-up, so callee
+	// components are final when a component is processed. Spawned bodies
+	// (GoSites) are deliberately excluded.
+	for _, scc := range g.SCCs {
+		var acc Summary
+		acc.Acquires = map[string]token.Pos{}
+		acc.FaultCodes = map[string]token.Pos{}
+		absorb := func(s *Summary) {
+			for k, p := range s.Acquires {
+				if _, ok := acc.Acquires[k]; !ok {
+					acc.Acquires[k] = p
+				}
+			}
+			for k, p := range s.FaultCodes {
+				if _, ok := acc.FaultCodes[k]; !ok {
+					acc.FaultCodes[k] = p
+				}
+			}
+			acc.Witness = acc.Witness || s.Witness
+			if s.Unbounded && !acc.Unbounded {
+				acc.Unbounded = true
+				acc.UnboundedPos = s.UnboundedPos
+			}
+		}
+		for _, m := range scc.Members {
+			absorb(&direct[m.Index])
+			for _, c := range m.Calls {
+				if c.scc == scc {
+					continue // same component: covered by the union
+				}
+				absorb(&c.summary)
+			}
+		}
+		for _, m := range scc.Members {
+			m.summary = acc
+		}
+	}
+}
+
+// GoSummary computes the combined summary of a go site's spawned
+// bodies (after ComputeSummaries).
+func (g *Graph) GoSummary(site GoSite) Summary {
+	var acc Summary
+	acc.Acquires = map[string]token.Pos{}
+	acc.FaultCodes = map[string]token.Pos{}
+	for _, c := range site.Callees {
+		s := c.Summary()
+		acc.Witness = acc.Witness || s.Witness
+		if s.Unbounded && !acc.Unbounded {
+			acc.Unbounded = true
+			acc.UnboundedPos = s.UnboundedPos
+		}
+	}
+	return acc
+}
+
+// ---- direct facts of one body ----
+
+func (g *Graph) directFacts(node *Node) Summary {
+	s := Summary{
+		Acquires:   map[string]token.Pos{},
+		FaultCodes: map[string]token.Pos{},
+	}
+	info := node.Pkg.Info
+	markUnbounded := func(pos token.Pos) {
+		if !s.Unbounded {
+			s.Unbounded = true
+			s.UnboundedPos = pos
+		}
+	}
+
+	// Select statements need their comm clauses classified as a unit, so
+	// the generic walk must skip the channel operands it already judged.
+	judged := map[ast.Node]bool{}
+
+	inspectOwn(node, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, recv, ok := lockStateCall(info, n); ok && (name == "Lock" || name == "RLock") {
+				if id := lockIdent(info, recv); id != "" {
+					if _, dup := s.Acquires[id]; !dup {
+						s.Acquires[id] = n.Pos()
+					}
+				}
+			}
+			if isDeadlineCall(info, n) {
+				s.Witness = true
+			}
+		case *ast.SelectStmt:
+			hasDefault, hasWitness := false, false
+			for _, c := range n.Body.List {
+				comm, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if comm.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				if recv := commReceive(comm.Comm); recv != nil {
+					judged[recv] = true
+					if g.isWitnessChan(info, recv.X) {
+						hasWitness = true
+					}
+				} else if send, ok := comm.Comm.(*ast.SendStmt); ok {
+					judged[send] = true
+				}
+			}
+			if hasWitness {
+				s.Witness = true
+			} else if !hasDefault {
+				markUnbounded(n.Pos())
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || judged[n] {
+				return
+			}
+			// A receive in `x := <-ch` / `if v, ok := <-ch` etc. outside a
+			// select.
+			if g.isWitnessChan(info, n.X) {
+				s.Witness = true
+			} else if !g.isTimeBoundedChan(info, n.X) {
+				markUnbounded(n.Pos())
+			}
+		case *ast.SendStmt:
+			if judged[n] {
+				return
+			}
+			if key := chanIdent(info, n.Chan); key == "" || !g.bufferedChans[key] {
+				markUnbounded(n.Arrow)
+			}
+		case *ast.RangeStmt:
+			if _, isChan := info.Types[n.X].Type.(*types.Chan); !isChan {
+				return
+			}
+			if g.isWitnessChan(info, n.X) {
+				s.Witness = true
+			} else {
+				markUnbounded(n.For)
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				markUnbounded(n.For)
+			}
+		case *ast.CompositeLit:
+			if name, pos, ok := faultCode(info, n); ok {
+				if _, dup := s.FaultCodes[name]; !dup {
+					s.FaultCodes[name] = pos
+				}
+			}
+		}
+	})
+	return s
+}
+
+// commReceive extracts the receive expression of a select comm
+// statement (`<-ch`, `v := <-ch`, `v, ok = <-ch`), or nil for sends.
+func commReceive(stmt ast.Stmt) *ast.UnaryExpr {
+	var e ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u
+	}
+	return nil
+}
+
+// isWitnessChan reports whether receiving from e is a termination
+// witness: a context's Done channel, a deadline channel (time.After,
+// Timer.C), or a channel the module provably closes.
+func (g *Graph) isWitnessChan(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		// ctx.Done() — matched by method shape so custom contexts and
+		// wrapped Done accessors count too.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		if isPkgFunc(info, call, "time", "After", "Tick") {
+			return true
+		}
+		return false
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "C" {
+		if named, ok := deref(info.Types[sel.X].Type).(*types.Named); ok &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Timer" {
+			return true
+		}
+	}
+	if key := chanIdent(info, e); key != "" && g.closedChans[key] {
+		return true
+	}
+	return false
+}
+
+// isTimeBoundedChan reports channels whose receive always completes
+// within a bounded period but is not a termination witness — a
+// Ticker.C fires forever.
+func (g *Graph) isTimeBoundedChan(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "C" {
+		return false
+	}
+	named, ok := deref(info.Types[sel.X].Type).(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Ticker"
+}
+
+// isDeadlineCall matches context.WithTimeout/WithDeadline — a body that
+// derives a deadline context is bounded by it (the relayCloseTimeout
+// idiom).
+func isDeadlineCall(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgFunc(info, call, "context", "WithTimeout", "WithDeadline")
+}
+
+// ---- lock identity ----
+
+// lockStateCall reports whether call is a sync.Mutex/RWMutex lock-state
+// method, returning the method name and the receiver expression.
+func lockStateCall(info *types.Info, call *ast.CallExpr) (name string, recv ast.Expr, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", nil, false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod {
+		return "", nil, false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", nil, false
+	}
+	switch obj.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return obj.Name(), sel.X, true
+	}
+	return "", nil, false
+}
+
+// lockIdent names a mutex-valued expression by (type, field) identity:
+// `r.mu` on any *cursorRegistry is "pkg.cursorRegistry.mu"; an embedded
+// mutex (`x.Lock()` straight on the struct) is "pkg.Type"; a package-
+// level `var mu sync.Mutex` is "pkg.mu". Instances of one type share
+// the identity — the over-approximation a global acquisition order
+// needs. Unnameable receivers return "".
+func lockIdent(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if named, ok := deref(s.Recv()).(*types.Named); ok {
+				return typeFullName(named) + "." + e.Sel.Name
+			}
+			return ""
+		}
+		// Package-qualified variable.
+		if obj, ok := info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return ""
+		}
+		// A bare receiver/variable of a type with an embedded mutex, or a
+		// mutex variable.
+		if named, ok := deref(obj.Type()).(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			return typeFullName(named)
+		}
+		if obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// ---- fault literals ----
+
+// faultCode inspects a composite literal for the clarens.Fault shape
+// and returns the name of the Fault* constant its Code field uses.
+// Literals whose Code is not a clarens constant (a re-fault via
+// another fault's .Code, an integer literal — faultdiscipline's beat)
+// return ok=false.
+func faultCode(info *types.Info, cl *ast.CompositeLit) (string, token.Pos, bool) {
+	named, ok := deref(info.Types[cl].Type).(*types.Named)
+	if !ok || named.Obj().Name() != "Fault" || named.Obj().Pkg() == nil {
+		return "", token.NoPos, false
+	}
+	if named.Obj().Pkg().Path() != pkgClarens {
+		return "", token.NoPos, false
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Code" {
+			continue
+		}
+		var obj types.Object
+		switch v := ast.Unparen(kv.Value).(type) {
+		case *ast.Ident:
+			obj = info.Uses[v]
+		case *ast.SelectorExpr:
+			obj = info.Uses[v.Sel]
+		}
+		if c, ok := obj.(*types.Const); ok && c.Pkg() != nil {
+			return c.Name(), kv.Value.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}

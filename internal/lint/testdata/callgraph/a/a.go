@@ -1,0 +1,32 @@
+package a
+
+import "sync"
+
+type Iface interface{ M() }
+
+type Impl1 struct{}
+
+func (Impl1) M() {}
+
+type Guard struct{ mu sync.Mutex }
+
+func (g *Guard) Locked() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+
+// Dispatch calls through the interface: the graph must edge to every
+// module-declared implementation (Impl1 here, Impl2 in package b).
+func Dispatch(i Iface) { i.M() }
+
+// Rec1/Rec2 are mutually recursive — one SCC.
+func Rec1(n int) {
+	if n > 0 {
+		Rec2(n - 1)
+	}
+}
+
+func Rec2(n int) { Rec1(n) }
+
+// UsesGuard acquires Guard.mu only transitively.
+func UsesGuard(g *Guard) { g.Locked() }

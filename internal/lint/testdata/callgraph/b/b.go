@@ -1,0 +1,17 @@
+package b
+
+import "gridrdb/internal/dataaccess/lintfixture/callgraph/a"
+
+type Impl2 struct{}
+
+// Impl2.M reaches an unbounded loop, so dispatch over a.Iface must
+// make callers inherit Unbounded from this implementation.
+func (Impl2) M() { forever() }
+
+func forever() {
+	for {
+	}
+}
+
+// Call exercises a cross-package static call.
+func Call(i a.Iface) { a.Dispatch(i) }

@@ -1,0 +1,54 @@
+package goroleak
+
+import (
+	"context"
+	"time"
+)
+
+type stopper struct {
+	stop chan struct{}
+	out  chan int
+}
+
+// A ctx.Done() select case is a termination witness: the goroutine
+// dies with the request.
+func (s *stopper) spawnCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-s.out:
+				_ = v
+			}
+		}
+	}()
+}
+
+// The module closes s.stop (in Close below), so selecting on it is a
+// witness even though the ticker alone would fire forever.
+func (s *stopper) spawnStop() {
+	go func() {
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+}
+
+func (s *stopper) Close() { close(s.stop) }
+
+// A straight-line body with only a buffered send terminates on its
+// own — no witness needed.
+func spawnBounded() int {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+	}()
+	return <-done
+}

@@ -1,0 +1,16 @@
+package goroleak
+
+// serveForever models an accept loop whose lifetime IS the process:
+// unbounded by design, suppressed with an audited directive.
+type srv struct {
+	conns chan int
+}
+
+func (s *srv) serveForever() {
+	//lint:ignore goroleak fixture: accept-loop lifetime is the process
+	go func() {
+		for {
+			<-s.conns
+		}
+	}()
+}

@@ -1,0 +1,21 @@
+package goroleak
+
+import "gridrdb/internal/dataaccess/lintfixture/goroleak/work"
+
+type waiter struct {
+	ch chan int
+}
+
+// The spawned body blocks forever on a channel nothing in the module
+// closes: one leaked goroutine per call.
+func (w *waiter) spawnBare() {
+	go func() { // want `goroleak: goroutine spawned on the request path can block forever`
+		<-w.ch
+	}()
+}
+
+// Interprocedural: the unbounded loop lives two calls away in another
+// package, but the spawned tree's summary carries it to the go site.
+func spawnIndirect() {
+	go work.Run() // want `goroleak: goroutine spawned on the request path can block forever`
+}

@@ -1,0 +1,10 @@
+package work
+
+// Run ends up spinning forever with no termination witness; spawned
+// from another package, it is that package's leak.
+func Run() { loop() }
+
+func loop() {
+	for {
+	}
+}

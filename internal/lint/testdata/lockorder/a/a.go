@@ -1,0 +1,17 @@
+package a
+
+import "sync"
+
+type L1 struct{ Mu sync.Mutex }
+
+type L2 struct{ Mu sync.Mutex }
+
+// AB acquires L1 then L2. On its own this just defines an order; the
+// cycle appears only when package b closes it the other way — the
+// cross-package deadlock no per-package analysis can see.
+func AB(x *L1, y *L2) {
+	x.Mu.Lock()
+	y.Mu.Lock() // want `lockorder: lock-order cycle among a\.L1\.Mu, a\.L2\.Mu`
+	y.Mu.Unlock()
+	x.Mu.Unlock()
+}

@@ -1,0 +1,13 @@
+package b
+
+import "gridrdb/internal/dataaccess/lintfixture/lockorder/a"
+
+// BA acquires the same two locks in the opposite order, closing the
+// AB/BA cycle with package a. The finding is reported at the cycle's
+// earliest witness edge (in a), so this file has no annotation.
+func BA(x *a.L1, y *a.L2) {
+	y.Mu.Lock()
+	x.Mu.Lock()
+	x.Mu.Unlock()
+	y.Mu.Unlock()
+}

@@ -1,0 +1,27 @@
+package lockorder
+
+import "sync"
+
+type R struct{ mu sync.Mutex }
+
+type S struct{ mu sync.Mutex }
+
+func lockS(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+
+// Everything acquires in the one global order R → S, both inline and
+// through a call while holding R: a consistent order is no cycle.
+func rThenSInline(r *R, s *S) {
+	r.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func rThenSViaCall(r *R, s *S) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lockS(s)
+}

@@ -1,0 +1,19 @@
+package lockorder
+
+import "sync"
+
+type Q struct{ mu sync.Mutex }
+
+func lockQ(q *Q) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+}
+
+// Lock identity is (type, field): holding one Q.mu while a callee
+// acquires another Q.mu is the self-cycle shape — with two instances,
+// two goroutines crossing over deadlock.
+func relock(q1, q2 *Q) {
+	q1.mu.Lock()
+	defer q1.mu.Unlock()
+	lockQ(q2) // want `lockorder: lock self-cycle on lockorder.Q.mu`
+}

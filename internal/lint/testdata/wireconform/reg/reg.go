@@ -1,0 +1,32 @@
+package reg
+
+import (
+	"context"
+
+	"gridrdb/internal/clarens"
+)
+
+type cfg struct{ binRows bool }
+
+func handleCond(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+	return nil, &clarens.Fault{Code: clarens.FaultApplication, Message: "fixture"}
+}
+
+func Setup(srv *clarens.Server, c cfg) {
+	// Documented, unconditional, and its reachable fault codes include
+	// one (FaultAuth) the fixture's fault table has no row for.
+	srv.Register("dataaccess.good", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		return nil, &clarens.Fault{Code: clarens.FaultAuth, Message: "fixture"} // want `wireconform: handler for "dataaccess.good" can emit FaultAuth`
+	})
+
+	// Documented as **negotiated** but registered unconditionally.
+	srv.Register("dataaccess.goodb", handleCond) // want `wireconform: method "dataaccess.goodb" is documented as negotiated in .* but registered unconditionally`
+
+	// Registered behind a gate the document does not mark negotiated.
+	if c.binRows {
+		srv.Register("dataaccess.cond", handleCond) // want `wireconform: method "dataaccess.cond" is registered conditionally but .* does not mark it negotiated`
+	}
+
+	// Not documented at all.
+	srv.Register("dataaccess.rogue", handleCond) // want `wireconform: method "dataaccess.rogue" registered but not documented`
+}

@@ -1,0 +1,193 @@
+package lint
+
+// WireConform statically cross-checks every clarens method registration
+// against the wire protocol document (docs/WIRE.md) — the compile-time
+// version of wirespec_test.go's live diff, extended with what only the
+// call graph can see:
+//
+//   - Every (*clarens.Server).Register("name", handler) must register a
+//     documented method, and every documented method must be registered
+//     somewhere in the module (system.login excepted: it is dispatched
+//     before the method table, by design). The reverse direction only
+//     runs on a full-module load — on a partial pattern the registering
+//     package may simply not have been loaded.
+//   - A method the document marks **negotiated** must be registered
+//     conditionally (under an if — capability gating), and a
+//     conditionally registered method must be documented as negotiated:
+//     an undocumented gate is a client-visible behavior difference the
+//     spec hides.
+//   - Every clarens.Fault* constant reachable from a handler's call
+//     tree must appear in the document's fault-code table (§2): a
+//     handler cannot emit a fault code clients have no row for.
+//
+// The analyzer is inert when the driver runs without a wire spec (for
+// example on a partial package pattern outside the module root).
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+var WireConform = &ModuleAnalyzer{
+	Name: "wireconform",
+	Doc:  "every clarens method registration matches docs/WIRE.md: documented name, documented fault codes, negotiated ⇔ conditionally registered",
+	Run:  runWireConform,
+}
+
+var (
+	// wireMethodRE matches documented method mentions — the same shape
+	// wirespec_test.go diffs against the live server.
+	wireMethodRE = regexp.MustCompile(`(system|dataaccess)\.[A-Za-z0-9_.]+\(`)
+	// wireFaultRE matches a fault-table row: | 100  | FaultParse | ... |
+	wireFaultRE = regexp.MustCompile(`^\|\s*\d+\s*\|\s*(Fault[A-Za-z0-9]+)\s*\|`)
+)
+
+type wireDoc struct {
+	methods map[string]*wireDocMethod
+	faults  map[string]bool
+}
+
+type wireDocMethod struct {
+	line       int // first mention (1-based)
+	negotiated bool
+}
+
+func parseWireSpec(data []byte) *wireDoc {
+	doc := &wireDoc{methods: map[string]*wireDocMethod{}, faults: map[string]bool{}}
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range wireMethodRE.FindAllString(line, -1) {
+			name := m[:len(m)-1]
+			wm := doc.methods[name]
+			if wm == nil {
+				wm = &wireDocMethod{line: i + 1}
+				doc.methods[name] = wm
+			}
+			if strings.Contains(line, "negotiated") {
+				wm.negotiated = true
+			}
+		}
+		if m := wireFaultRE.FindStringSubmatch(line); m != nil {
+			doc.faults[m[1]] = true
+		}
+	}
+	return doc
+}
+
+// registration is one Register call found in production code.
+type registration struct {
+	name        string
+	pos         token.Pos
+	conditional bool  // the call sits under an if statement
+	handler     *Node // resolved handler body (nil when unresolvable)
+}
+
+func runWireConform(pass *ModulePass) error {
+	if len(pass.WireSpec) == 0 {
+		return nil
+	}
+	doc := parseWireSpec(pass.WireSpec)
+	g := pass.Graph
+
+	var regs []registration
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			parents := buildParents(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					return true
+				}
+				recv := receiverType(pkg.Info, call)
+				if recv == nil || !isNamedType(recv, pkgClarens, "Server") || calleeName(call) != "Register" {
+					return true
+				}
+				name, ok := constString(pkg, call.Args[0])
+				if !ok {
+					pass.Reportf(call.Args[0].Pos(),
+						"clarens method registered with a non-constant name — wireconform cannot check it against %s; use a string literal", pass.WireSpecPath)
+					return true
+				}
+				reg := registration{
+					name:    name,
+					pos:     call.Pos(),
+					handler: g.funcValue(pkg.Info, call.Args[1]),
+				}
+				for p := parents[n]; p != nil; p = parents[p] {
+					if _, isIf := p.(*ast.IfStmt); isIf {
+						reg.conditional = true
+						break
+					}
+				}
+				regs = append(regs, reg)
+				return true
+			})
+		}
+	}
+
+	registered := map[string]bool{}
+	for _, reg := range regs {
+		registered[reg.name] = true
+		wm := doc.methods[reg.name]
+		if wm == nil {
+			pass.Reportf(reg.pos,
+				"method %q registered but not documented in %s — document it (or remove the registration)", reg.name, pass.WireSpecPath)
+			continue
+		}
+		if wm.negotiated && !reg.conditional {
+			pass.Reportf(reg.pos,
+				"method %q is documented as negotiated in %s but registered unconditionally — gate the registration on the capability", reg.name, pass.WireSpecPath)
+		}
+		if !wm.negotiated && reg.conditional {
+			pass.Reportf(reg.pos,
+				"method %q is registered conditionally but %s does not mark it negotiated — document the gate or register unconditionally", reg.name, pass.WireSpecPath)
+		}
+		if reg.handler != nil {
+			codes := reg.handler.Summary().FaultCodes
+			names := make([]string, 0, len(codes))
+			for name := range codes {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, code := range names {
+				if !doc.faults[code] {
+					pass.Reportf(codes[code],
+						"handler for %q can emit %s, which has no row in the %s fault table — add the row or stop emitting it", reg.name, code, pass.WireSpecPath)
+				}
+			}
+		}
+	}
+
+	// Documented but never registered. Only sound when the load covered
+	// the whole module — on a partial pattern the registering package may
+	// simply not be loaded. system.login is dispatched before the method
+	// table (it must work without a session), so no Register call exists
+	// for it by design.
+	if !pass.FullModule {
+		return nil
+	}
+	var stale []string
+	for name := range doc.methods {
+		if !registered[name] && name != "system.login" {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		pass.ReportAt(token.Position{Filename: pass.WireSpecPath, Line: doc.methods[name].line, Column: 1},
+			"method %q is documented here but never registered in the module — implement it or prune the documentation", name)
+	}
+	return nil
+}
+
+// constString evaluates e as a constant string.
+func constString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"gridrdb/internal/lint"
+	"gridrdb/internal/lint/linttest"
+)
+
+// The fixture carries its own WIRE.md; the registrations cover every
+// rule: undocumented registration, documented-but-unregistered,
+// negotiated ⇔ conditional mismatches in both directions, a handler
+// fault code missing from the fault table, and the system.login
+// pre-table exemption.
+func TestWireConform(t *testing.T) {
+	linttest.RunModule(t, []*lint.ModuleAnalyzer{lint.WireConform},
+		"testdata/wireconform", "gridrdb/internal/dataaccess/lintfixture/wireconform")
+}
