@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrepro [-exp fig4|fig5|table1|fig6|all] [-scale small|paper] [-repeats N]
+//	benchrepro [-exp fig4|fig5|cache|stream|wire|relay|join|obsv|table1|fig6|all] [-scale small|paper] [-repeats N]
 //
 // The "paper" scale uses the simulated 100 Mbps LAN profile and the
 // paper's testbed dimensions (6 databases, ~80k rows, ~1700 tables,
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, cache, stream, wire, relay, obsv, table1, fig6, all")
+	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, cache, stream, wire, relay, join, obsv, table1, fig6, all")
 	scale := flag.String("scale", "small", "testbed scale: small (CI) or paper (simulated LAN, full size)")
 	repeats := flag.Int("repeats", 3, "measurement repeats per point")
 	cacheOut := flag.String("cache-out", "BENCH_cache.json", "path of the cache datapoint file (\"\" disables)")
@@ -34,6 +34,8 @@ func main() {
 	wireRows := flag.Int("wire-rows", 0, "row count of the wire-codec experiment's result set (0 = scale default)")
 	relayOut := flag.String("relay-out", "BENCH_relay.json", "path of the cursor-relay datapoint file (\"\" disables)")
 	relayRows := flag.Int("relay-rows", 0, "base row count of the relay experiment's remote table (0 = scale default; the sweep also measures 10x this)")
+	joinOut := flag.String("join-out", "BENCH_join.json", "path of the pipelined-join datapoint file (\"\" disables)")
+	joinRows := flag.Int("join-rows", 0, "base fact-table row count of the join experiment (0 = scale default; the sweep also measures 10x this)")
 	obsvOut := flag.String("obsv-out", "BENCH_obsv.json", "path of the observability-overhead datapoint file (\"\" disables)")
 	obsvIters := flag.Int("obsv-iters", 0, "queries per repeat of the observability experiment (0 = scale default)")
 	flag.Parse()
@@ -86,6 +88,16 @@ func main() {
 			}
 		}
 		return runRelay(rows, *repeats, *relayOut)
+	})
+	run("join", func() error {
+		rows := *joinRows
+		if rows == 0 {
+			rows = 2000
+			if *scale == "paper" {
+				rows = 20000
+			}
+		}
+		return runJoin(rows, *repeats, *joinOut)
 	})
 	run("obsv", func() error {
 		iters := *obsvIters
@@ -281,6 +293,56 @@ func runRelay(rows, repeats int, outPath string) error {
 	data, err := json.MarshalIndent(map[string]interface{}{
 		"benchmark": "cursor_relay",
 		"query":     experiments.RelayQuery,
+		"repeats":   repeats,
+		"result":    points,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
+}
+
+// runJoin measures a decomposed two-source federated join through the
+// legacy materialize-into-scratch integration versus the pipelined
+// streaming operators, at the base fact-table row count and at 10x, and
+// writes both datapoints to outPath. The operators' claim is that
+// time-to-first-row and the integrator's peak live heap stay roughly flat
+// as the fact table grows (bounded by the hash build side), where the
+// scratch path grows with it. A differential check asserts both paths
+// return byte-identical row sets.
+func runJoin(rows, repeats int, outPath string) error {
+	fmt.Println("== Extension: federated join, scratch integration vs pipelined operators ==")
+	points := make([]experiments.JoinRow, 0, 2)
+	for _, n := range []int{rows, 10 * rows} {
+		row, err := experiments.RunJoin(n, repeats)
+		if err != nil {
+			return err
+		}
+		points = append(points, row)
+	}
+	fmt.Printf("operator: %s\n", points[0].Operator)
+	fmt.Printf("%10s %18s %20s %18s %20s %10s\n", "rows", "scratch ttfr (ns)", "scratch peak (bytes)", "piped ttfr (ns)", "piped peak (bytes)", "identical")
+	for _, r := range points {
+		fmt.Printf("%10d %18d %20d %18d %20d %10v\n", r.Rows, r.ScratchTTFRNs, r.ScratchPeakBytes, r.PipelinedTTFRNs, r.PipelinedPeakBytes, r.Identical)
+	}
+	if points[0].PipelinedTTFRNs > 0 {
+		fmt.Printf("pipelined ttfr growth over 10x rows: %.2fx (scratch: %.2fx)\n",
+			float64(points[1].PipelinedTTFRNs)/float64(points[0].PipelinedTTFRNs),
+			float64(points[1].ScratchTTFRNs)/float64(max(points[0].ScratchTTFRNs, 1)))
+	}
+	fmt.Println("expected shape: pipelined time-to-first-row and peak heap stay roughly flat as the")
+	fmt.Println("fact table grows; the scratch path's grow with it (it materializes before emitting)")
+	fmt.Println()
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(map[string]interface{}{
+		"benchmark": "pipelined_join",
+		"query":     experiments.JoinQuery,
 		"repeats":   repeats,
 		"result":    points,
 	}, "", "  ")

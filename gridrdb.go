@@ -172,6 +172,11 @@ type ServerConfig struct {
 	// RequestTimeout, so one stuck source cannot consume a whole request's
 	// allowance. 0 applies no per-source bound.
 	SourceBudget time.Duration
+	// ScratchMaxBytes bounds each buffering streaming operator of a
+	// decomposed federated query (hash-join build, external sort): past
+	// it the operator spills to disk instead of growing the heap. 0
+	// selects the default (64 MiB); negative disables spilling.
+	ScratchMaxBytes int64
 	// Logger receives the server's structured query log (slog records
 	// carrying the query id on every line). nil discards all records.
 	Logger *slog.Logger
@@ -317,6 +322,7 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 		DisableBinRows:     cfg.DisableBinaryRows,
 		RelayFetchSize:     cfg.RelayFetchSize,
 		SourceBudget:       cfg.SourceBudget,
+		ScratchMaxBytes:    cfg.ScratchMaxBytes,
 		Logger:             cfg.Logger,
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
 		SlowQueryLogSize:   cfg.SlowQueryLogSize,

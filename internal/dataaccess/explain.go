@@ -80,6 +80,12 @@ func (s *Service) explainMap(class string, plan *unity.Plan, rp *remotePlan, cac
 		if pe.Pushdown {
 			m["source"] = pe.Source
 		}
+		// The streaming-operator decision: "pushdown", a pipelined operator
+		// label, or "scratch" with the analyzer's rejection reason.
+		m["operator"] = pe.Operator
+		if pe.StreamFallback != "" {
+			m["stream_fallback"] = pe.StreamFallback
+		}
 		subs := make([]interface{}, len(pe.Subs))
 		for i, sub := range pe.Subs {
 			subs[i] = map[string]interface{}{
@@ -111,6 +117,20 @@ func (s *Service) explainMap(class string, plan *unity.Plan, rp *remotePlan, cac
 				local = append(local, t)
 			}
 			m["local_tables"] = strList(local)
+			// Mirror streamMixed's operator decision: pipelined integration
+			// over the per-table streams, or the scratch engine with the
+			// analyzer's rejection reason.
+			sp, reason := unity.PlanIntegrateStream(rp.sel)
+			switch {
+			case s.fed.DisableStreamOps:
+				m["operator"] = "scratch"
+				m["stream_fallback"] = "stream operators disabled"
+			case sp == nil:
+				m["operator"] = "scratch"
+				m["stream_fallback"] = reason
+			default:
+				m["operator"] = "pipelined mixed"
+			}
 		}
 		for _, d := range rp.deps {
 			deps = append(deps, qcacheDep{d.Source, d.Table})
@@ -140,10 +160,11 @@ func (s *Service) budgetMap() map[string]interface{} {
 		cursorTTL = 0
 	}
 	return map[string]interface{}{
-		"source_budget_ms": s.cfg.SourceBudget.Milliseconds(),
-		"relay_fetch_size": int64(fetchN),
-		"cursor_ttl_ms":    cursorTTL.Milliseconds(),
-		"cache_ttl_ms":     s.cfg.CacheTTL.Milliseconds(),
+		"source_budget_ms":  s.cfg.SourceBudget.Milliseconds(),
+		"relay_fetch_size":  int64(fetchN),
+		"cursor_ttl_ms":     cursorTTL.Milliseconds(),
+		"cache_ttl_ms":      s.cfg.CacheTTL.Milliseconds(),
+		"scratch_max_bytes": s.cfg.ScratchMaxBytes,
 	}
 }
 

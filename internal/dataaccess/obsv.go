@@ -83,6 +83,16 @@ type serviceObsv struct {
 	relayFetches   *obsv.Counter
 	relayRows      *obsv.Counter
 	relayFallbacks *obsv.Counter
+
+	// Streaming-operator counters: how decomposed/mixed streamed queries
+	// were served, and the spill telemetry of the buffering operators.
+	streamPipelined *obsv.Counter
+	streamScratch   *obsv.Counter
+	spilledQueries  *obsv.Counter
+	spillPartitions *obsv.Counter
+	spillRuns       *obsv.Counter
+	spillBytes      *obsv.Counter
+	spillSeconds    *obsv.Histogram
 }
 
 // newServiceObsv builds the registry and registers every metric. s is
@@ -144,6 +154,21 @@ func newServiceObsv(cfg Config, s *Service) *serviceObsv {
 	o.relayFetches = r.Counter("gridrdb_relay_fetches_total", "Pages pulled off remote relay cursors.")
 	o.relayRows = r.Counter("gridrdb_relay_rows_total", "Rows relayed from remote cursors.")
 	o.relayFallbacks = r.Counter("gridrdb_relay_fallbacks_total", "Mid-stream downgrades from binary to plain relay fetches.")
+
+	o.streamPipelined = r.Counter("gridrdb_stream_pipelined_total",
+		"Streamed decomposed/mixed queries served by the pipelined operators.")
+	o.streamScratch = r.Counter("gridrdb_stream_scratch_total",
+		"Streamed decomposed/mixed queries that fell back to scratch-engine materialization.")
+	o.spilledQueries = r.Counter("gridrdb_spilled_queries_total",
+		"Pipelined queries whose buffering operators spilled to disk.")
+	o.spillPartitions = r.Counter("gridrdb_spill_partitions_total",
+		"Partition files written by Grace hash-join builds.")
+	o.spillRuns = r.Counter("gridrdb_spill_runs_total",
+		"Sorted run files written by external sorts.")
+	o.spillBytes = r.Counter("gridrdb_spill_bytes_total",
+		"Bytes written to operator spill files.")
+	o.spillSeconds = r.Histogram("gridrdb_spill_seconds",
+		"Per-query time spent writing and reading operator spill files.", nil)
 
 	// Scrape-time views over pre-existing synchronized stats: the cache,
 	// the routing counters and the federation keep their own atomics,
@@ -209,6 +234,10 @@ type qtrack struct {
 	// only a query slow enough for the ring pays to describe itself.
 	plan atomic.Pointer[unity.Plan]
 	rp   atomic.Pointer[remotePlan]
+	// sx captures how a streamed execution ran (operator label, spill
+	// telemetry); its Stats are only read at finish, when the stream has
+	// drained or been closed and the operator counters are final.
+	sx atomic.Pointer[unity.StreamExec]
 
 	done atomic.Bool
 }
@@ -279,6 +308,12 @@ func (t *qtrack) noteRows(n int64) {
 	}
 }
 
+func (t *qtrack) noteStreamExec(ex *unity.StreamExec) {
+	if t != nil && ex != nil {
+		t.sx.Store(ex)
+	}
+}
+
 // beginStream marks the hand-off from routing to consumer-paced
 // delivery; finish turns it into the stream phase.
 func (t *qtrack) beginStream() {
@@ -302,6 +337,19 @@ func (t *qtrack) finish(err error) {
 	}
 	//lint:ignore ctxflow completion logging outlives the request: the track finishes after the caller's context is cancelled, and log emission must not inherit that cancellation
 	ctx := obsv.WithQueryID(context.Background(), t.id)
+	// Spill telemetry is charged whether the query succeeded or not: the
+	// disk traffic happened either way, and the stats are final here (the
+	// stream has drained, failed, or been closed).
+	sx := t.sx.Load()
+	if sx != nil {
+		if st := sx.Stats; st != nil && st.Spilled {
+			o.spilledQueries.Inc()
+			o.spillPartitions.Add(st.SpillPartitions)
+			o.spillRuns.Add(st.SpillRuns)
+			o.spillBytes.Add(st.SpillBytes)
+			o.spillSeconds.ObserveDuration(time.Duration(st.SpillNanos))
+		}
+	}
 	if err != nil {
 		o.errors.Inc()
 		o.log(ctx, slog.LevelWarn, "query failed",
@@ -323,6 +371,24 @@ func (t *qtrack) finish(err error) {
 		slog.Duration("elapsed", dur),
 		slog.Int64("rows", rows))
 	if o.slow != nil && dur >= o.slowThreshold {
+		em := t.svc.explainMap(classNames[c], t.plan.Load(), t.rp.Load(), c == classCache)
+		if sx != nil {
+			// The executed operator trumps the plan-time label (they only
+			// differ when execution downgraded), and a spilled query carries
+			// its runtime spill numbers.
+			em["operator"] = sx.Operator
+			if sx.Fallback != "" {
+				em["stream_fallback"] = sx.Fallback
+			}
+			if st := sx.Stats; st != nil && st.Spilled {
+				em["spill"] = map[string]interface{}{
+					"partitions": st.SpillPartitions,
+					"runs":       st.SpillRuns,
+					"bytes":      st.SpillBytes,
+					"nanos":      st.SpillNanos,
+				}
+			}
+		}
 		e := obsv.SlowEntry{
 			QueryID:      t.id,
 			SQL:          t.sqlText,
@@ -335,7 +401,7 @@ func (t *qtrack) finish(err error) {
 			PhaseStream:  time.Duration(t.streamNs.Load()),
 			Rows:         rows,
 			Bytes:        bytes,
-			Explain:      t.svc.explainMap(classNames[c], t.plan.Load(), t.rp.Load(), c == classCache),
+			Explain:      em,
 		}
 		o.slow.Record(e)
 		o.log(ctx, slog.LevelWarn, "slow query",

@@ -22,6 +22,7 @@ import (
 
 	"gridrdb/internal/clarens"
 	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/unity"
 )
 
 // errRelayUnsupported reports a peer without the system.cursor.* methods
@@ -328,10 +329,71 @@ func (s *Service) streamWithRemote(ctx context.Context, key, sqlText string, par
 			return nil, err
 		}
 	}
+	if sr, ok, err := s.streamMixed(ctx, key, rp, params, epoch); ok || err != nil {
+		return sr, err
+	}
 	qr, deps, err := s.queryWithRemoteResolved(ctx, rp, sqlText, params)
 	if err != nil {
 		return nil, err
 	}
 	s.streamCacheFill(key, qr, deps, epoch)
 	return &StreamResult{cols: qr.Columns, Route: qr.Route, Servers: qr.Servers, iter: sqlengine.SliceIter(qr.ResultSet)}, nil
+}
+
+// streamMixed serves a mixed local/remote query through the pipelined
+// operators when the integration statement qualifies: each table's stream
+// — local federation cursor or lazy remote relay — feeds the join/union
+// pipeline directly, so neither the scratch engine nor this server ever
+// materializes the inputs, and remote cursors open only when the operator
+// actually consumes their side. ok=false (with nil error) means the shape
+// needs the scratch engine and the caller should run the materialized
+// integration instead.
+func (s *Service) streamMixed(ctx context.Context, key string, rp *remotePlan, params []sqlengine.Value, epoch int64) (*StreamResult, bool, error) {
+	t := trackFrom(ctx)
+	t.setClass(classMixed)
+	if s.fed.DisableStreamOps {
+		s.obs.streamScratch.Inc()
+		t.noteStreamExec(&unity.StreamExec{Operator: "scratch", Fallback: "stream operators disabled"})
+		return nil, false, nil
+	}
+	sp, reason := unity.PlanIntegrateStream(rp.sel)
+	if sp == nil {
+		s.obs.streamScratch.Inc()
+		s.obs.log(ctx, slog.LevelDebug, "route: mixed (scratch)", slog.String("fallback", reason))
+		t.noteStreamExec(&unity.StreamExec{Operator: "scratch", Fallback: reason})
+		return nil, false, nil
+	}
+	s.obs.log(ctx, slog.LevelDebug, "route: mixed (pipelined)",
+		slog.Int("tables", len(rp.tables)), slog.Int("remote_tables", len(rp.remoteHost)))
+	loads := make([]unity.StreamLoad, 0, len(rp.tables))
+	closeLoads := func() {
+		for _, ld := range loads {
+			ld.Iter.Close()
+		}
+	}
+	serversTouched := map[string]bool{}
+	for _, tbl := range rp.tables {
+		fetch := unity.RemoteFetchSQL(rp.sel, tbl)
+		var it sqlengine.RowIter
+		if rp.local[tbl] {
+			var err error
+			it, _, err = s.fed.QueryStreamContext(ctx, fetch)
+			if err != nil {
+				closeLoads()
+				return nil, false, err
+			}
+		} else {
+			it = s.tableStreamFromRemote(ctx, rp.remoteHost[tbl], fetch)
+			serversTouched[rp.remoteHost[tbl]] = true
+		}
+		loads = append(loads, unity.StreamLoad{Logical: tbl, Iter: it})
+	}
+	out, stats, err := unity.IntegrateStream(ctx, sp, loads, params, s.cfg.ScratchMaxBytes)
+	if err != nil {
+		return nil, false, err // IntegrateStream closed the loads
+	}
+	s.stats.Mixed.Add(1)
+	s.obs.streamPipelined.Inc()
+	t.noteStreamExec(&unity.StreamExec{Operator: "pipelined mixed", Stats: stats})
+	return s.wrapStream(out, RouteMixed, 1+len(serversTouched), key, rp.deps, epoch), true, nil
 }

@@ -83,6 +83,19 @@ type Config struct {
 	// one stuck source cannot consume the whole request budget. 0 applies
 	// no per-source bound.
 	SourceBudget time.Duration
+	// ScratchMaxBytes is the byte budget of each buffering streaming
+	// operator (hash-join build, external sort): past it the operator
+	// spills to disk instead of growing the heap. 0 selects the default
+	// (64 MiB); negative disables spilling, letting buffers grow
+	// unbounded. It also steers planning — a join whose smaller side is
+	// estimated over the budget prefers a merge join with ORDER BY pushed
+	// to the sources.
+	ScratchMaxBytes int64
+	// DisableStreamOps forces decomposed and mixed plans onto the legacy
+	// materialize-into-scratch integration path even when the streaming
+	// operators could serve them. Escape hatch, and the baseline the join
+	// benchmark compares against; production servers leave it off.
+	DisableStreamOps bool
 	// Logger receives the query path's structured records (route
 	// decisions, completions, relays, slow queries), each carrying the
 	// query id; nil discards them.
@@ -161,6 +174,8 @@ func New(cfg Config) *Service {
 	s.obs = newServiceObsv(cfg, s)
 	s.cursors = newCursorRegistry(cfg.CursorTTL, s.obs)
 	s.fed.SourceBudget = cfg.SourceBudget
+	s.fed.ScratchMaxBytes = cfg.ScratchMaxBytes
+	s.fed.DisableStreamOps = cfg.DisableStreamOps
 	s.fed.Logger = s.obs.logger
 	if cfg.CacheSize > 0 {
 		shards := cfg.CacheShards

@@ -159,11 +159,21 @@ func (s *Service) streamLocal(ctx context.Context, key, sqlText string, plan *un
 	s.obs.log(ctx, slog.LevelDebug, "route: unity (stream)",
 		slog.Bool("pushdown", plan.Pushdown), slog.Int("tables", len(plan.Tables)))
 	tb := t.now()
-	it, err := s.fed.ExecuteStreamContext(ctx, plan, params...)
+	it, ex, err := s.fed.ExecuteStreamOp(ctx, plan, params...)
 	t.addBackend(tb)
 	if err != nil {
 		return nil, err
 	}
+	if !plan.Pushdown {
+		if ex.Operator == "scratch" {
+			s.obs.streamScratch.Inc()
+		} else {
+			s.obs.streamPipelined.Inc()
+		}
+		s.obs.log(ctx, slog.LevelDebug, "stream: operator",
+			slog.String("operator", ex.Operator), slog.String("fallback", ex.Fallback))
+	}
+	t.noteStreamExec(ex)
 	s.stats.Unity.Add(1)
 	return s.wrapStream(it, RouteUnity, 1, key, planDeps(plan), epoch), nil
 }

@@ -1,0 +1,344 @@
+package dataaccess
+
+// Tests for the pipelined streaming operators at the service layer: the
+// decomposed streaming route must run on the operator pipeline (and say
+// so in metrics and explain), spills must be visible in the gridrdb_spill
+// metric family and leave no temp files behind — on drained streams and
+// on abandoned ones alike — and the mixed local/remote route must feed
+// the relay streams straight into the operators without materializing.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gridrdb/internal/clarens"
+	"gridrdb/internal/leaktest"
+	"gridrdb/internal/rls"
+	"gridrdb/internal/sqlengine"
+)
+
+// counterValue reads one counter (bare name, no labels) from the metric
+// snapshot.
+func counterValue(t *testing.T, s *Service, name string) int64 {
+	t.Helper()
+	v, ok := s.Metrics().Snapshot()[name]
+	if !ok {
+		t.Fatalf("metric %q not registered", name)
+	}
+	n, ok := v.(int64)
+	if !ok {
+		t.Fatalf("metric %q is %T, want int64", name, v)
+	}
+	return n
+}
+
+// spillLeftovers lists gridrdb spill directories remaining under dir.
+func spillLeftovers(t *testing.T, dir string) []string {
+	t.Helper()
+	left, err := filepath.Glob(filepath.Join(dir, "gridrdb-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return left
+}
+
+// TestStreamDecomposedUsesPipelinedOperators: the streamed cross-mart
+// join runs pipelined (counter + slow-query explain say so) and an
+// unstreamable shape falls back to scratch with its reason recorded.
+func TestStreamDecomposedUsesPipelinedOperators(t *testing.T) {
+	s := New(Config{Name: "jc-streamop", SlowQueryThreshold: time.Nanosecond})
+	defer s.Close()
+	_, mySpec := mkMart(t, "sop_my", sqlengine.DialectMySQL, "events", 10)
+	_, msSpec := mkMart(t, "sop_ms", sqlengine.DialectMSSQL, "runsinfo", 6)
+	addMart(t, s, "sop_my", mySpec, "gridsql-mysql")
+	addMart(t, s, "sop_ms", msSpec, "gridsql-mssql")
+
+	join := "SELECT e.event_id, r.e_tot FROM events e JOIN runsinfo r ON e.run = r.run"
+	sr, err := s.QueryStream(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainStream(t, sr)
+	if n := counterValue(t, s, "gridrdb_stream_pipelined_total"); n != 1 {
+		t.Fatalf("pipelined counter = %d, want 1", n)
+	}
+	slow := s.SlowQueries()
+	if len(slow) == 0 {
+		t.Fatal("no slow-query capture")
+	}
+	op, _ := slow[0].Explain["operator"].(string)
+	if op != "pipelined hash-join(build=right)" {
+		t.Fatalf("slow-entry operator = %q", op)
+	}
+
+	// Aggregation is not streamable: scratch fallback, with the reason in
+	// both the counter and the capture.
+	agg := "SELECT r.e_tot, COUNT(*) FROM events e JOIN runsinfo r ON e.run = r.run GROUP BY r.e_tot"
+	sr, err = s.QueryStream(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainStream(t, sr)
+	if n := counterValue(t, s, "gridrdb_stream_scratch_total"); n != 1 {
+		t.Fatalf("scratch counter = %d, want 1", n)
+	}
+	slow = s.SlowQueries()
+	op, _ = slow[0].Explain["operator"].(string)
+	fb, _ := slow[0].Explain["stream_fallback"].(string)
+	if op != "scratch" || fb != "aggregation" {
+		t.Fatalf("slow-entry operator/fallback = %q/%q, want scratch/aggregation", op, fb)
+	}
+
+	// system.explain reports the same decision without executing.
+	em, err := s.Explain(context.Background(), join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := em["operator"].(string); got != "pipelined hash-join(build=right)" {
+		t.Fatalf("explain operator = %q", got)
+	}
+	if b, _ := em["budgets"].(map[string]interface{}); b["scratch_max_bytes"] != int64(0) {
+		t.Fatalf("explain budgets lack scratch_max_bytes: %v", b)
+	}
+}
+
+// TestStreamSpillMetricsAndCleanup: a 1-byte ScratchMaxBytes forces the
+// buffering operators to disk; the spill shows up in the metric family
+// and the slow-query capture, the rows still match the materialized
+// reference, and no spill directory survives the drained stream.
+func TestStreamSpillMetricsAndCleanup(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	s := New(Config{Name: "jc-spill", ScratchMaxBytes: 1, SlowQueryThreshold: time.Nanosecond})
+	defer s.Close()
+	_, mySpec := mkMart(t, "spl_my", sqlengine.DialectMySQL, "events", 40)
+	_, msSpec := mkMart(t, "spl_ms", sqlengine.DialectMSSQL, "runsinfo", 30)
+	addMart(t, s, "spl_my", mySpec, "gridsql-mysql")
+	addMart(t, s, "spl_ms", msSpec, "gridsql-mssql")
+
+	// The UNION keeps the planner off the merge join (multi-branch), so
+	// the 1-byte budget forces a Grace spill of the hash build.
+	q := "SELECT e.event_id FROM events e JOIN runsinfo r ON e.run = r.run UNION ALL SELECT event_id FROM events"
+	qr, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := s.QueryStream(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainStream(t, sr)
+	if len(got.Rows) != len(qr.Rows) {
+		t.Fatalf("streamed %d rows, materialized %d", len(got.Rows), len(qr.Rows))
+	}
+
+	if n := counterValue(t, s, "gridrdb_spilled_queries_total"); n != 1 {
+		t.Fatalf("spilled queries = %d, want 1", n)
+	}
+	if n := counterValue(t, s, "gridrdb_spill_partitions_total"); n <= 0 {
+		t.Fatalf("spill partitions = %d, want > 0", n)
+	}
+	if n := counterValue(t, s, "gridrdb_spill_bytes_total"); n <= 0 {
+		t.Fatalf("spill bytes = %d, want > 0", n)
+	}
+	var entry map[string]interface{}
+	for _, e := range s.SlowQueries() {
+		if e.SQL == q && e.Route == "unity-decomposed" {
+			entry = e.Explain
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatal("no slow-query capture for the spilled stream")
+	}
+	if _, ok := entry["spill"].(map[string]interface{}); !ok {
+		t.Fatalf("slow entry has no spill block: %v", entry)
+	}
+	if left := spillLeftovers(t, tmp); len(left) != 0 {
+		t.Fatalf("spill directories left behind: %v", left)
+	}
+}
+
+// TestStreamCancelMidSpilledJoin: abandoning a spilled pipelined join
+// mid-stream (context cancel + close after a few rows) releases the spill
+// directories and strands no goroutines.
+func TestStreamCancelMidSpilledJoin(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	checkLeaks := leaktest.Check(t)
+	s := New(Config{Name: "jc-spillcancel", ScratchMaxBytes: 1})
+	defer s.Close()
+	_, mySpec := mkMart(t, "spc_my", sqlengine.DialectMySQL, "events", 60)
+	_, msSpec := mkMart(t, "spc_ms", sqlengine.DialectMSSQL, "runsinfo", 40)
+	addMart(t, s, "spc_my", mySpec, "gridsql-mysql")
+	addMart(t, s, "spc_ms", msSpec, "gridsql-mssql")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	q := "SELECT e.event_id FROM events e JOIN runsinfo r ON e.run = r.run UNION ALL SELECT event_id FROM events"
+	sr, err := s.QueryStreamContext(ctx, q)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sr.Next(); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	cancel()
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if left := spillLeftovers(t, tmp); len(left) != 0 {
+		t.Fatalf("spill directories left after abandoned stream: %v", left)
+	}
+	s.Close()
+	checkLeaks()
+}
+
+// TestStreamMixedPipelined: a streamed join between a local mart and a
+// table on another server runs on the operator pipeline — the remote side
+// relayed page by page straight into the hash join, nothing materialized
+// — and produces exactly the materialized mixed answer.
+func TestStreamMixedPipelined(t *testing.T) {
+	catalog := rls.NewServer(0)
+	rlsURL, err := catalog.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer catalog.Close()
+	mk := func(name string) (*Service, *clarens.Server) {
+		svc := New(Config{Name: name, RLS: rls.NewClient(rlsURL)})
+		srv := clarens.NewServer(true)
+		svc.RegisterMethods(srv)
+		url, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.SetURL(url)
+		return svc, srv
+	}
+	jc1, srv1 := mk("smixed-1")
+	defer func() { jc1.Close(); srv1.Close() }()
+	jc2, srv2 := mk("smixed-2")
+	defer func() { jc2.Close(); srv2.Close() }()
+
+	_, evSpec := mkMart(t, "mart_smixed_events", sqlengine.DialectMySQL, "sm_events", 40)
+	addMart(t, jc1, "mart_smixed_events", evSpec, "gridsql-mysql")
+	runs := sqlengine.NewEngine("mart_smixed_runs", sqlengine.DialectMySQL)
+	if _, err := runs.Exec("CREATE TABLE `sm_runs` (`run` BIGINT PRIMARY KEY, `site` VARCHAR(16))"); err != nil {
+		t.Fatal(err)
+	}
+	for run, site := range map[int]string{100: "tier1", 101: "tier2"} {
+		if _, err := runs.Exec(fmt.Sprintf("INSERT INTO `sm_runs` VALUES (%d, '%s')", run, site)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addEngineMart(t, jc2, runs)
+
+	q := "SELECT e.event_id, r.site FROM sm_events e JOIN sm_runs r ON e.run = r.run WHERE r.site = 'tier1'"
+	sr, err := jc1.QueryStreamContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Route != RouteMixed || sr.Servers != 2 {
+		t.Fatalf("route=%s servers=%d, want mixed/2", sr.Route, sr.Servers)
+	}
+	got := drainStream(t, sr)
+	if len(got.Rows) != 20 {
+		t.Fatalf("streamed join returned %d rows, want 20 (run 100 half)", len(got.Rows))
+	}
+	if n := counterValue(t, jc1, "gridrdb_stream_pipelined_total"); n != 1 {
+		t.Fatalf("pipelined counter = %d, want 1", n)
+	}
+	// The remote side travelled as a relay feeding the operators.
+	if st := jc1.CursorStats(); st.RelayOpens != 1 {
+		t.Fatalf("relay opens = %d, want 1", st.RelayOpens)
+	}
+	// The drained stream released the peer's cursor.
+	waitFor(t, 2*time.Second, func() bool { return jc2.CursorCount() == 0 })
+
+	// Identical to the materialized mixed integration.
+	qr, err := jc1.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(EncodeRowsBinary(got.Rows)) != string(EncodeRowsBinary(qr.Rows)) {
+		t.Fatal("pipelined mixed rows differ from the materialized integration")
+	}
+
+	// system.explain reports the mixed operator decision without executing.
+	em, err := jc1.Explain(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op, _ := em["operator"].(string); op != "pipelined mixed" {
+		t.Fatalf("explain operator = %q, want pipelined mixed", op)
+	}
+}
+
+// TestStreamMixedScratchFallback: a mixed shape the analyzer rejects
+// (aggregation) still answers through the materialized integration, and
+// the fallback is counted.
+func TestStreamMixedScratchFallback(t *testing.T) {
+	catalog := rls.NewServer(0)
+	rlsURL, err := catalog.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer catalog.Close()
+	mk := func(name string) (*Service, *clarens.Server) {
+		svc := New(Config{Name: name, RLS: rls.NewClient(rlsURL)})
+		srv := clarens.NewServer(true)
+		svc.RegisterMethods(srv)
+		url, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.SetURL(url)
+		return svc, srv
+	}
+	jc1, srv1 := mk("sfall-1")
+	defer func() { jc1.Close(); srv1.Close() }()
+	jc2, srv2 := mk("sfall-2")
+	defer func() { jc2.Close(); srv2.Close() }()
+
+	_, evSpec := mkMart(t, "mart_sfall_events", sqlengine.DialectMySQL, "sf_events", 12)
+	addMart(t, jc1, "mart_sfall_events", evSpec, "gridsql-mysql")
+	_, rSpec := mkMart(t, "mart_sfall_runs", sqlengine.DialectMySQL, "sf_runs", 6)
+	addMart(t, jc2, "mart_sfall_runs", rSpec, "gridsql-mysql")
+
+	q := "SELECT COUNT(*) FROM sf_events e JOIN sf_runs r ON e.run = r.run"
+	sr, err := jc1.QueryStreamContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Route != RouteMixed {
+		t.Fatalf("route = %s, want mixed", sr.Route)
+	}
+	got := drainStream(t, sr)
+	if len(got.Rows) != 1 {
+		t.Fatalf("aggregate returned %d rows", len(got.Rows))
+	}
+	if n := counterValue(t, jc1, "gridrdb_stream_scratch_total"); n != 1 {
+		t.Fatalf("scratch counter = %d, want 1", n)
+	}
+	if n := counterValue(t, jc1, "gridrdb_stream_pipelined_total"); n != 0 {
+		t.Fatalf("pipelined counter = %d, want 0", n)
+	}
+}
+
+// TestStreamSpillDirHonorsTempDir is a guard for the test setup itself:
+// the spill layer creates its directories under os.TempDir, which the
+// cleanup assertions above redirect via TMPDIR.
+func TestStreamSpillDirHonorsTempDir(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	if got := os.TempDir(); got != tmp {
+		t.Skipf("os.TempDir() = %q ignores TMPDIR on this platform", got)
+	}
+}

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"gridrdb/internal/dataaccess"
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// JoinQuery is the decomposed federated join measured by the join
+// experiment: a large fact table on one member database joined to a small
+// run dimension on another, so unity must integrate the two sub-query
+// streams. The small side sits on the right, where the planner builds the
+// hash table.
+const JoinQuery = "SELECT e.event_id, e.run, r.weight FROM join_events e JOIN join_runs r ON e.run = r.run"
+
+// joinRuns is the dimension cardinality; every fact row's run hits one of
+// these, so the join emits exactly one output row per fact row.
+const joinRuns = 7
+
+// JoinRow is the pipelined-versus-scratch datapoint cmd/benchrepro writes
+// to BENCH_join.json. The two headline metrics are time-to-first-row
+// (scratch must materialize both sides before emitting anything, so its
+// TTFR grows with the fact table; pipelined is build side + one probe)
+// and the integrator's peak live heap (scratch holds the whole join,
+// pipelined holds the build side).
+type JoinRow struct {
+	// Rows is the fact table's row count (= the join's output rows).
+	Rows int `json:"rows"`
+	// Operator is the plan label system.explain reports for the pipelined
+	// service (e.g. "pipelined hash-join(build=right)").
+	Operator string `json:"operator"`
+	// ScratchTTFRNs / ScratchNsOp / ScratchPeakBytes measure the legacy
+	// materialize-into-scratch integration (DisableStreamOps).
+	ScratchTTFRNs    int64 `json:"scratch_ttfr_ns"`
+	ScratchNsOp      int64 `json:"scratch_ns_op"`
+	ScratchPeakBytes int64 `json:"scratch_peak_bytes"`
+	// PipelinedTTFRNs / PipelinedNsOp / PipelinedPeakBytes measure the
+	// streaming operator path on an otherwise identical deployment.
+	PipelinedTTFRNs    int64 `json:"pipelined_ttfr_ns"`
+	PipelinedNsOp      int64 `json:"pipelined_ns_op"`
+	PipelinedPeakBytes int64 `json:"pipelined_peak_bytes"`
+	// Identical reports that the two paths returned byte-identical row
+	// sets (order-normalized under the binary row codec).
+	Identical bool `json:"identical"`
+}
+
+var joinSeq atomic.Int64
+
+// joinGenDriver lazily generates either the fact or the dimension table,
+// one row per pull, so the member databases contribute no resident heap of
+// their own: the measured growth is attributable to how the *integration*
+// buffers, which is what the experiment compares (relayGenDriver plays the
+// same role for the transfer experiment).
+type joinGenDriver struct {
+	total int
+	dim   bool
+}
+
+func (d *joinGenDriver) Open(string) (driver.Conn, error) { return &joinGenConn{d: d}, nil }
+
+type joinGenConn struct{ d *joinGenDriver }
+
+func (c *joinGenConn) Prepare(string) (driver.Stmt, error) {
+	return nil, errors.New("joingen: prepare unsupported")
+}
+func (c *joinGenConn) Close() error { return nil }
+func (c *joinGenConn) Begin() (driver.Tx, error) {
+	return nil, errors.New("joingen: no transactions")
+}
+
+func (c *joinGenConn) QueryContext(_ context.Context, _ string, _ []driver.NamedValue) (driver.Rows, error) {
+	return &joinGenRows{total: c.d.total, dim: c.d.dim}, nil
+}
+
+type joinGenRows struct {
+	total, pos int
+	dim        bool
+}
+
+func (r *joinGenRows) Columns() []string {
+	if r.dim {
+		return []string{"run", "weight"}
+	}
+	return []string{"event_id", "run"}
+}
+func (r *joinGenRows) Close() error { return nil }
+func (r *joinGenRows) Next(dest []driver.Value) error {
+	if r.pos >= r.total {
+		return io.EOF
+	}
+	i := r.pos
+	r.pos++
+	if r.dim {
+		dest[0] = int64(100 + i)
+		dest[1] = float64(100+i) * 0.5
+		return nil
+	}
+	dest[0] = int64(i + 1)
+	dest[1] = int64(100 + i%joinRuns)
+	return nil
+}
+
+// joinTestbed builds one JClarens service federating two lazily generated
+// member databases: join_events (n fact rows) and join_runs (the
+// dimension), with row-count stats in the specs so the planner picks the
+// dimension as the hash build side. legacy selects the scratch baseline.
+func joinTestbed(n int, legacy bool) (*dataaccess.Service, error) {
+	seq := joinSeq.Add(1)
+	factDrv := fmt.Sprintf("joingenfact%d", seq)
+	dimDrv := fmt.Sprintf("joingendim%d", seq)
+	sql.Register(factDrv, &joinGenDriver{total: n})
+	sql.Register(dimDrv, &joinGenDriver{total: joinRuns, dim: true})
+
+	svc := dataaccess.New(dataaccess.Config{
+		Name:             fmt.Sprintf("join-exp-%d", seq),
+		DisableStreamOps: legacy,
+	})
+	factSpec := &xspec.LowerSpec{
+		Name:    "joinfact_" + factDrv,
+		Dialect: "ansi",
+		Tables: []xspec.TableSpec{{
+			Name: "join_events", Logical: "join_events", Rows: n,
+			Columns: []xspec.ColumnSpec{
+				{Name: "event_id", Logical: "event_id", Kind: "INTEGER"},
+				{Name: "run", Logical: "run", Kind: "INTEGER"},
+			},
+		}},
+	}
+	dimSpec := &xspec.LowerSpec{
+		Name:    "joindim_" + dimDrv,
+		Dialect: "ansi",
+		Tables: []xspec.TableSpec{{
+			Name: "join_runs", Logical: "join_runs", Rows: joinRuns,
+			Columns: []xspec.ColumnSpec{
+				{Name: "run", Logical: "run", Kind: "INTEGER"},
+				{Name: "weight", Logical: "weight", Kind: "DOUBLE"},
+			},
+		}},
+	}
+	for _, reg := range []struct {
+		spec *xspec.LowerSpec
+		drv  string
+	}{{factSpec, factDrv}, {dimSpec, dimDrv}} {
+		ref := xspec.SourceRef{Name: reg.spec.Name, URL: "joingen://" + reg.drv, Driver: reg.drv}
+		if err := svc.AddDatabase(ref, reg.spec, "", ""); err != nil {
+			svc.Close()
+			return nil, err
+		}
+	}
+	return svc, nil
+}
+
+// measureJoin drains JoinQuery once on svc, timing first row and total,
+// and sampling the live heap at first row and mid-drain (the larger is
+// the path's peak working state).
+func measureJoin(svc *dataaccess.Service, n int) (ttfr, total time.Duration, peak int64, err error) {
+	base := liveHeap()
+	t0 := time.Now()
+	sr, err := svc.QueryStreamContext(context.Background(), JoinQuery)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer sr.Close()
+	got := 0
+	for {
+		r, nerr := sr.Next()
+		if nerr == io.EOF {
+			break
+		}
+		if nerr != nil {
+			return 0, 0, 0, nerr
+		}
+		got++
+		if got == 1 {
+			ttfr = time.Since(t0)
+			if p := liveHeap() - base; p > peak {
+				peak = p
+			}
+		}
+		if got == n/2 {
+			if p := liveHeap() - base; p > peak {
+				peak = p
+			}
+		}
+		_ = r
+	}
+	total = time.Since(t0)
+	if got != n {
+		return 0, 0, 0, fmt.Errorf("join returned %d rows, want %d", got, n)
+	}
+	if peak < 0 {
+		peak = 0
+	}
+	return ttfr, total, peak, nil
+}
+
+// drainSorted collects a stream and order-normalizes it (the hash join
+// emits in probe order, the scratch engine in its own; the comparison
+// must not depend on either).
+func drainSorted(sr *dataaccess.StreamResult) ([]sqlengine.Row, error) {
+	var rows []sqlengine.Row
+	if err := sr.ForEach(func(r sqlengine.Row) error {
+		rows = append(rows, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for c := range rows[i] {
+			if cmp := sqlengine.Compare(rows[i][c], rows[j][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return rows, nil
+}
+
+// RunJoin measures JoinQuery over an n-row fact table, repeats times per
+// path: the legacy scratch integration (a service with DisableStreamOps)
+// versus the pipelined operators, averaging the datapoints. A final
+// differential pass checks both paths produce byte-identical row sets.
+func RunJoin(n, repeats int) (JoinRow, error) {
+	if n <= 0 {
+		n = 2000
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	row := JoinRow{Rows: n}
+
+	legacy, err := joinTestbed(n, true)
+	if err != nil {
+		return row, err
+	}
+	defer legacy.Close()
+	pipelined, err := joinTestbed(n, false)
+	if err != nil {
+		return row, err
+	}
+	defer pipelined.Close()
+
+	ex, err := pipelined.Explain(context.Background(), JoinQuery)
+	if err != nil {
+		return row, err
+	}
+	row.Operator, _ = ex["operator"].(string)
+
+	for i := 0; i < repeats; i++ {
+		ttfr, totalD, peak, err := measureJoin(legacy, n)
+		if err != nil {
+			return row, fmt.Errorf("scratch join: %w", err)
+		}
+		row.ScratchTTFRNs += ttfr.Nanoseconds()
+		row.ScratchNsOp += totalD.Nanoseconds()
+		row.ScratchPeakBytes += peak
+	}
+	for i := 0; i < repeats; i++ {
+		ttfr, totalD, peak, err := measureJoin(pipelined, n)
+		if err != nil {
+			return row, fmt.Errorf("pipelined join: %w", err)
+		}
+		row.PipelinedTTFRNs += ttfr.Nanoseconds()
+		row.PipelinedNsOp += totalD.Nanoseconds()
+		row.PipelinedPeakBytes += peak
+	}
+	div := int64(repeats)
+	row.ScratchTTFRNs /= div
+	row.ScratchNsOp /= div
+	row.ScratchPeakBytes /= div
+	row.PipelinedTTFRNs /= div
+	row.PipelinedNsOp /= div
+	row.PipelinedPeakBytes /= div
+
+	// Differential check: order-normalized row sets must be byte-identical
+	// under the binary row codec.
+	a, err := legacy.QueryStreamContext(context.Background(), JoinQuery)
+	if err != nil {
+		return row, err
+	}
+	scratchRows, err := drainSorted(a)
+	if err != nil {
+		return row, err
+	}
+	b, err := pipelined.QueryStreamContext(context.Background(), JoinQuery)
+	if err != nil {
+		return row, err
+	}
+	pipeRows, err := drainSorted(b)
+	if err != nil {
+		return row, err
+	}
+	row.Identical = bytes.Equal(
+		dataaccess.EncodeRowsBinary(scratchRows),
+		dataaccess.EncodeRowsBinary(pipeRows),
+	)
+	runtime.KeepAlive(scratchRows)
+	return row, nil
+}

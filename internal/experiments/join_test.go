@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunJoinSmoke exercises the join experiment end to end at a small
+// scale: the pipelined plan must actually be chosen and both integration
+// paths must return the full join, byte-identically.
+func TestRunJoinSmoke(t *testing.T) {
+	row, err := RunJoin(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Rows != 400 {
+		t.Fatalf("rows = %d, want 400", row.Rows)
+	}
+	if !strings.HasPrefix(row.Operator, "pipelined hash-join") {
+		t.Fatalf("operator = %q, want a pipelined hash join", row.Operator)
+	}
+	if !row.Identical {
+		t.Fatal("pipelined rows differ from the scratch integration")
+	}
+	if row.ScratchTTFRNs <= 0 || row.PipelinedTTFRNs <= 0 {
+		t.Fatalf("ttfr scratch=%d pipelined=%d, want > 0", row.ScratchTTFRNs, row.PipelinedTTFRNs)
+	}
+	if row.ScratchNsOp <= 0 || row.PipelinedNsOp <= 0 {
+		t.Fatalf("totals scratch=%d pipelined=%d, want > 0", row.ScratchNsOp, row.PipelinedNsOp)
+	}
+}

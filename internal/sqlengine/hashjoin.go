@@ -1,0 +1,459 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+)
+
+// hashJoinIter is the pipelined equi-hash-join operator. It drains the
+// build side into an in-memory table during schema() (so the expensive
+// phase runs before the first row is requested), then probes one row at
+// a time: time-to-first-row is build-side cost plus one probe row, and
+// memory is bounded by the build side — or, past the byte budget, by a
+// Grace-style partitioned spill: build and probe rows are hash-
+// partitioned to temp files and each partition pair is joined in memory
+// in turn. The full ON condition is re-evaluated on every key match and
+// LEFT joins null-pad unmatched probe rows, exactly like the executor's
+// residual pass, so pipelined output is row-identical to the scratch
+// reference (the probe side is always the left input for LEFT joins).
+type hashJoinIter struct {
+	ctx    context.Context
+	j      *StreamJoin
+	left   *srcIter
+	right  *srcIter
+	params []Value
+	opts   StreamOptions
+	stats  *StreamStats
+
+	sch       rowSchema // combined: left columns then right columns
+	leftW     int
+	buildIdx  []int // key ordinals in the build input
+	probeIdx  []int // key ordinals in the probe input
+	buildLeft bool
+	leftOuter bool
+
+	prepared bool
+	err      error
+	closed   bool
+
+	// In-memory mode.
+	ht map[string][]Row
+
+	// Spill mode.
+	sd         *spillDir
+	buildParts []*spillWriter
+	probeParts []*spillWriter
+	part       int
+	partReader *spillReader
+	inSpill    bool
+	probeDone  bool
+
+	pending []Row
+}
+
+// hashJoinFanout is the Grace partition count. One recursion level only:
+// a partition that still exceeds the budget is joined in memory anyway
+// (the budget bounds the common case; pathological single-key skew
+// degrades to the scratch path's footprint for that partition).
+const hashJoinFanout = 8
+
+func newHashJoinIter(ctx context.Context, j *StreamJoin, left, right *srcIter, params []Value, opts StreamOptions) *hashJoinIter {
+	stats := opts.Stats
+	if stats == nil {
+		stats = &StreamStats{}
+	}
+	return &hashJoinIter{
+		ctx: ctx, j: j, left: left, right: right, params: params, opts: opts, stats: stats,
+		buildLeft: j.BuildLeft && j.Kind == JoinInner,
+		leftOuter: j.Kind == JoinLeft,
+	}
+}
+
+func (h *hashJoinIter) build() *srcIter {
+	if h.buildLeft {
+		return h.left
+	}
+	return h.right
+}
+
+func (h *hashJoinIter) probe() *srcIter {
+	if h.buildLeft {
+		return h.right
+	}
+	return h.left
+}
+
+// combined assembles the output row in left-then-right column order.
+func (h *hashJoinIter) combined(probeRow, buildRow Row) Row {
+	out := make(Row, 0, len(h.sch))
+	if h.buildLeft {
+		out = append(out, buildRow...)
+		out = append(out, probeRow...)
+	} else {
+		out = append(out, probeRow...)
+		out = append(out, buildRow...)
+	}
+	return out
+}
+
+// padProbe null-pads the non-probe side for LEFT-join unmatched rows
+// (probe is always left when leftOuter).
+func (h *hashJoinIter) padProbe(probeRow Row) Row {
+	out := make(Row, len(h.sch))
+	copy(out, probeRow)
+	return out
+}
+
+func (h *hashJoinIter) schema() (rowSchema, error) {
+	if err := h.prepare(); err != nil {
+		return nil, err
+	}
+	return h.sch, nil
+}
+
+// prepare binds both sides and drains the build input, spilling past the
+// budget. It runs once; errors are sticky.
+func (h *hashJoinIter) prepare() error {
+	if h.prepared {
+		return h.err
+	}
+	h.prepared = true
+	h.err = h.doPrepare()
+	return h.err
+}
+
+func (h *hashJoinIter) doPrepare() error {
+	bsch, err := h.build().schema()
+	if err != nil {
+		return err
+	}
+	buildKeys, probeKeys := h.j.RightKeys, h.j.LeftKeys
+	if h.buildLeft {
+		buildKeys, probeKeys = h.j.LeftKeys, h.j.RightKeys
+	}
+	bq := h.build().q
+	bIdx, err := resolveKeys(bsch, bq, buildKeys)
+	if err != nil {
+		return err
+	}
+	h.buildIdx = bIdx
+
+	budget := h.opts.budget()
+	h.ht = make(map[string][]Row)
+	var bytes int64
+	for {
+		if err := h.ctxErr(); err != nil {
+			return err
+		}
+		row, err := h.build().next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		h.stats.BuildRows++
+		kv, ok := keyVals(row, h.buildIdx)
+		if !ok {
+			continue // NULL key: can never match
+		}
+		if h.sd == nil {
+			h.ht[indexKey(kv)] = append(h.ht[indexKey(kv)], row)
+			bytes += rowMemBytes(row)
+			h.stats.BuildBytes = bytes
+			if budget > 0 && bytes > budget {
+				if err := h.startSpill(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := h.spillRow(h.buildParts, kv, row); err != nil {
+			return err
+		}
+	}
+
+	// Bind the probe side only after the build is consumed, so lazy
+	// probe producers (relay cursors) are opened as late as possible.
+	psch, err := h.probe().schema()
+	if err != nil {
+		return err
+	}
+	pIdx, err := resolveKeys(psch, h.probe().q, probeKeys)
+	if err != nil {
+		return err
+	}
+	h.probeIdx = pIdx
+
+	lsch, _ := h.left.schema()
+	rsch, _ := h.right.schema()
+	h.leftW = len(lsch)
+	h.sch = make(rowSchema, 0, len(lsch)+len(rsch))
+	h.sch = append(h.sch, lsch...)
+	h.sch = append(h.sch, rsch...)
+
+	if h.sd != nil {
+		h.inSpill = true
+		// Finish build partition files; probe rows are partitioned
+		// incrementally by next() so unmatched LEFT rows stream out
+		// during partitioning instead of buffering.
+		start := time.Now()
+		for _, sw := range h.buildParts {
+			if err := sw.finish(); err != nil {
+				return err
+			}
+		}
+		h.stats.SpillNanos += time.Since(start).Nanoseconds()
+		pw, err := h.makeParts("probe")
+		if err != nil {
+			return err
+		}
+		h.probeParts = pw
+	}
+	return nil
+}
+
+// startSpill switches the build phase to Grace partitioning: the rows
+// accumulated so far are redistributed into partition files and the
+// in-memory table is dropped.
+func (h *hashJoinIter) startSpill() error {
+	start := time.Now()
+	sd, err := newSpillDir(h.opts.TempDir, h.stats)
+	if err != nil {
+		return err
+	}
+	h.sd = sd
+	bw, err := h.makeParts("build")
+	if err != nil {
+		return err
+	}
+	h.buildParts = bw
+	for _, rows := range h.ht {
+		for _, row := range rows {
+			kv, _ := keyVals(row, h.buildIdx)
+			if err := h.spillRow(h.buildParts, kv, row); err != nil {
+				return err
+			}
+		}
+	}
+	h.ht = nil
+	h.stats.BuildBytes = 0
+	h.stats.SpillNanos += time.Since(start).Nanoseconds()
+	return nil
+}
+
+func (h *hashJoinIter) makeParts(kind string) ([]*spillWriter, error) {
+	parts := make([]*spillWriter, hashJoinFanout)
+	for i := range parts {
+		sw, err := h.sd.newWriter(fmt.Sprintf("%s-p%d", kind, i))
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = sw
+		h.stats.SpillPartitions++
+	}
+	return parts, nil
+}
+
+func partitionOf(kv []Value) int {
+	f := fnv.New32a()
+	f.Write([]byte(indexKey(kv)))
+	return int(f.Sum32() % hashJoinFanout)
+}
+
+func (h *hashJoinIter) spillRow(parts []*spillWriter, kv []Value, row Row) error {
+	start := time.Now()
+	err := parts[partitionOf(kv)].writeRow(row)
+	h.stats.SpillNanos += time.Since(start).Nanoseconds()
+	return err
+}
+
+func (h *hashJoinIter) ctxErr() error {
+	select {
+	case <-h.ctx.Done():
+		return h.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (h *hashJoinIter) next() (Row, error) {
+	if err := h.prepare(); err != nil {
+		return nil, err
+	}
+	for {
+		if len(h.pending) > 0 {
+			row := h.pending[0]
+			h.pending = h.pending[1:]
+			return row, nil
+		}
+		if h.err != nil {
+			return nil, h.err
+		}
+		var row Row
+		var err error
+		if !h.inSpill {
+			row, err = h.nextInMem()
+		} else {
+			row, err = h.nextSpill()
+		}
+		if err != nil {
+			if err != io.EOF {
+				h.err = err
+			}
+			return nil, err
+		}
+		if row != nil {
+			return row, nil
+		}
+	}
+}
+
+// nextInMem advances the in-memory probe by one input row; it returns
+// (nil, nil) when the row produced no output (matches go to pending).
+func (h *hashJoinIter) nextInMem() (Row, error) {
+	prow, err := h.probe().next()
+	if err != nil {
+		return nil, err
+	}
+	return h.matchRow(prow, h.ht)
+}
+
+// matchRow joins one probe row against a build table, queuing matches.
+func (h *hashJoinIter) matchRow(prow Row, ht map[string][]Row) (Row, error) {
+	kv, ok := keyVals(prow, h.probeIdx)
+	matched := false
+	if ok {
+		for _, brow := range ht[indexKey(kv)] {
+			crow := h.combined(prow, brow)
+			keep, err := evalResidual(h.j.On, h.sch, crow, h.params)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				h.pending = append(h.pending, crow)
+				matched = true
+			}
+		}
+	}
+	if h.leftOuter && !matched {
+		return h.padProbe(prow), nil
+	}
+	return nil, nil
+}
+
+// nextSpill drives the Grace phases: partition the probe input (emitting
+// NULL-key LEFT rows immediately), then join partition pairs in turn.
+func (h *hashJoinIter) nextSpill() (Row, error) {
+	if !h.probeDone {
+		if err := h.ctxErr(); err != nil {
+			return nil, err
+		}
+		prow, err := h.probe().next()
+		if err == io.EOF {
+			start := time.Now()
+			for _, sw := range h.probeParts {
+				if err := sw.finish(); err != nil {
+					return nil, err
+				}
+			}
+			h.stats.SpillNanos += time.Since(start).Nanoseconds()
+			h.probeDone = true
+			h.part = -1
+			h.ht = nil
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		kv, ok := keyVals(prow, h.probeIdx)
+		if !ok {
+			if h.leftOuter {
+				return h.padProbe(prow), nil
+			}
+			return nil, nil
+		}
+		return nil, h.spillRow(h.probeParts, kv, prow)
+	}
+
+	// Partition-pair join.
+	for {
+		if h.partReader == nil {
+			h.part++
+			if h.part >= hashJoinFanout {
+				return nil, io.EOF
+			}
+			if err := h.loadPartition(h.part); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		prow, err := h.partReader.readRow()
+		h.stats.SpillNanos += time.Since(start).Nanoseconds()
+		if err == io.EOF {
+			h.partReader.close()
+			h.partReader = nil
+			h.ht = nil
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return h.matchRow(prow, h.ht)
+	}
+}
+
+// loadPartition reads one build partition into memory and opens the
+// matching probe partition for streaming.
+func (h *hashJoinIter) loadPartition(p int) error {
+	if err := h.ctxErr(); err != nil {
+		return err
+	}
+	start := time.Now()
+	defer func() { h.stats.SpillNanos += time.Since(start).Nanoseconds() }()
+	br, err := openSpill(h.buildParts[p].path)
+	if err != nil {
+		return err
+	}
+	defer br.close()
+	h.ht = make(map[string][]Row)
+	for {
+		row, err := br.readRow()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		kv, _ := keyVals(row, h.buildIdx)
+		h.ht[indexKey(kv)] = append(h.ht[indexKey(kv)], row)
+	}
+	pr, err := openSpill(h.probeParts[p].path)
+	if err != nil {
+		return err
+	}
+	h.partReader = pr
+	return nil
+}
+
+func (h *hashJoinIter) close() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	err := h.left.close()
+	if e := h.right.close(); err == nil {
+		err = e
+	}
+	h.partReader.close()
+	h.partReader = nil
+	if e := h.sd.remove(); err == nil {
+		err = e
+	}
+	h.ht = nil
+	h.pending = nil
+	return err
+}

@@ -1,0 +1,485 @@
+package sqlengine
+
+import (
+	"container/heap"
+	"context"
+	"io"
+	"sort"
+	"time"
+)
+
+// mergeJoinIter is the streaming merge join for inner equi-joins whose
+// inputs both arrive ordered ascending by their key vectors (the
+// federation planner pushes ORDER BY on the join keys into each side's
+// sub-query). Memory is bounded by the largest single-key group on the
+// right side; no build phase, so time-to-first-row is the first matching
+// key pair. Rows with NULL keys are skipped on both sides (NULL join
+// keys never match). The full ON condition is re-evaluated on every key
+// match, like the executor's residual pass.
+type mergeJoinIter struct {
+	ctx    context.Context
+	j      *StreamJoin
+	left   *srcIter
+	right  *srcIter
+	params []Value
+
+	sch   rowSchema
+	lIdx  []int
+	rIdx  []int
+	bound bool
+	err   error
+
+	lrow Row
+	lkey []Value
+
+	rrow  Row // lookahead row not yet grouped
+	rkey  []Value
+	rdone bool
+
+	group    []Row // buffered right rows sharing groupKey
+	groupKey []Value
+	gi       int
+
+	closed bool
+}
+
+func (m *mergeJoinIter) schema() (rowSchema, error) {
+	if err := m.bind(); err != nil {
+		return nil, err
+	}
+	return m.sch, nil
+}
+
+func (m *mergeJoinIter) bind() error {
+	if m.bound {
+		return m.err
+	}
+	m.bound = true
+	m.err = func() error {
+		lsch, err := m.left.schema()
+		if err != nil {
+			return err
+		}
+		rsch, err := m.right.schema()
+		if err != nil {
+			return err
+		}
+		m.lIdx, err = resolveKeys(lsch, m.left.q, m.j.LeftKeys)
+		if err != nil {
+			return err
+		}
+		m.rIdx, err = resolveKeys(rsch, m.right.q, m.j.RightKeys)
+		if err != nil {
+			return err
+		}
+		m.sch = make(rowSchema, 0, len(lsch)+len(rsch))
+		m.sch = append(m.sch, lsch...)
+		m.sch = append(m.sch, rsch...)
+		return nil
+	}()
+	return m.err
+}
+
+// advanceLeft pulls the next non-NULL-key left row.
+func (m *mergeJoinIter) advanceLeft() error {
+	for {
+		row, err := m.left.next()
+		if err != nil {
+			return err
+		}
+		if kv, ok := keyVals(row, m.lIdx); ok {
+			m.lrow, m.lkey = row, kv
+			return nil
+		}
+	}
+}
+
+// advanceRight pulls the next non-NULL-key right row into the lookahead.
+func (m *mergeJoinIter) advanceRight() error {
+	for {
+		row, err := m.right.next()
+		if err == io.EOF {
+			m.rdone = true
+			m.rrow, m.rkey = nil, nil
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if kv, ok := keyVals(row, m.rIdx); ok {
+			m.rrow, m.rkey = row, kv
+			return nil
+		}
+	}
+}
+
+func (m *mergeJoinIter) next() (Row, error) {
+	if err := m.bind(); err != nil {
+		return nil, err
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	row, err := m.advance()
+	if err != nil && err != io.EOF {
+		m.err = err
+	}
+	return row, err
+}
+
+func (m *mergeJoinIter) advance() (Row, error) {
+	for {
+		select {
+		case <-m.ctx.Done():
+			return nil, m.ctx.Err()
+		default:
+		}
+		// Emit from the current group for the current left row.
+		if m.lrow != nil && m.group != nil && compareKeys(m.lkey, m.groupKey) == 0 {
+			for m.gi < len(m.group) {
+				crow := make(Row, 0, len(m.sch))
+				crow = append(crow, m.lrow...)
+				crow = append(crow, m.group[m.gi]...)
+				m.gi++
+				keep, err := evalResidual(m.j.On, m.sch, crow, m.params)
+				if err != nil {
+					return nil, err
+				}
+				if keep {
+					return crow, nil
+				}
+			}
+			m.lrow = nil // group exhausted for this left row
+			m.gi = 0
+			continue
+		}
+		if m.lrow == nil {
+			if err := m.advanceLeft(); err != nil {
+				return nil, err // io.EOF: no more left rows, join done
+			}
+			continue
+		}
+		// Left row has no usable group yet: advance the right side until
+		// its key is >= the left key.
+		if m.rrow == nil && !m.rdone && m.group == nil {
+			if err := m.advanceRight(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if m.group != nil && compareKeys(m.groupKey, m.lkey) < 0 {
+			m.group, m.groupKey = nil, nil // stale group: left moved past it
+			continue
+		}
+		for m.rrow != nil && compareKeys(m.rkey, m.lkey) < 0 {
+			if err := m.advanceRight(); err != nil {
+				return nil, err
+			}
+		}
+		if m.rrow != nil && compareKeys(m.rkey, m.lkey) == 0 {
+			// Collect the full right group for this key.
+			m.group = m.group[:0]
+			m.groupKey = m.rkey
+			for m.rrow != nil && compareKeys(m.rkey, m.groupKey) == 0 {
+				m.group = append(m.group, m.rrow)
+				if err := m.advanceRight(); err != nil {
+					return nil, err
+				}
+			}
+			m.gi = 0
+			continue
+		}
+		// No right rows with this key (rkey > lkey or right exhausted):
+		// inner join drops the left row.
+		if m.rdone && m.group == nil {
+			return nil, io.EOF // nothing on the right can ever match again
+		}
+		m.lrow = nil
+	}
+}
+
+func (m *mergeJoinIter) close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	err := m.left.close()
+	if e := m.right.close(); err == nil {
+		err = e
+	}
+	m.group = nil
+	return err
+}
+
+// ---- external sort ----
+
+// sortIter implements ORDER BY over a streaming pipeline with the
+// executor's exact semantics for the streamable subset (keys resolved to
+// output ordinals, stable for equal keys). Under the byte budget it is
+// an in-memory stable sort; past it, sorted runs spill to temp files and
+// a k-way merge streams them back, with the original arrival index as
+// the final tiebreaker to keep the merge stable.
+type sortIter struct {
+	ctx   context.Context
+	in    RowIter
+	keys  []sortKey
+	opts  StreamOptions
+	stats *StreamStats
+
+	prepared bool
+	err      error
+	closed   bool
+
+	rows []Row // in-memory path
+	pos  int
+
+	sd      *spillDir
+	runs    []*spillWriter
+	merge   *runHeap
+	seq     int64
+	bufSeq  []int64
+	bufSize int64
+}
+
+func newSortIter(ctx context.Context, in RowIter, keys []sortKey, opts StreamOptions) *sortIter {
+	stats := opts.Stats
+	if stats == nil {
+		stats = &StreamStats{}
+	}
+	return &sortIter{ctx: ctx, in: in, keys: keys, opts: opts, stats: stats}
+}
+
+func (s *sortIter) Columns() []string { return s.in.Columns() }
+
+func (s *sortIter) less(a, b Row, aSeq, bSeq int64) bool {
+	for _, k := range s.keys {
+		c := Compare(a[k.idx], b[k.idx])
+		if c == 0 {
+			continue
+		}
+		if k.desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return aSeq < bSeq
+}
+
+func (s *sortIter) prepare() error {
+	if s.prepared {
+		return s.err
+	}
+	s.prepared = true
+	s.err = s.doPrepare()
+	return s.err
+}
+
+func (s *sortIter) doPrepare() error {
+	budget := s.opts.budget()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return s.ctx.Err()
+		default:
+		}
+		row, err := s.in.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		s.rows = append(s.rows, row)
+		s.bufSeq = append(s.bufSeq, s.seq)
+		s.seq++
+		s.bufSize += rowMemBytes(row)
+		if budget > 0 && s.bufSize > budget {
+			if err := s.flushRun(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.runs) == 0 {
+		s.sortRows()
+		return nil
+	}
+	if len(s.rows) > 0 {
+		if err := s.flushRun(); err != nil {
+			return err
+		}
+	}
+	return s.openMerge()
+}
+
+// sortRows stable-sorts the in-memory buffer by keys then arrival order.
+func (s *sortIter) sortRows() {
+	type keyed struct {
+		row Row
+		seq int64
+	}
+	ks := make([]keyed, len(s.rows))
+	for i := range s.rows {
+		ks[i] = keyed{row: s.rows[i], seq: s.bufSeq[i]}
+	}
+	sort.SliceStable(ks, func(i, j int) bool { return s.less(ks[i].row, ks[j].row, ks[i].seq, ks[j].seq) })
+	for i := range ks {
+		s.rows[i] = ks[i].row
+		s.bufSeq[i] = ks[i].seq
+	}
+}
+
+// flushRun sorts the current buffer and writes it as one run file. Each
+// spilled row is prefixed with its arrival index so the merge can break
+// key ties in arrival order.
+func (s *sortIter) flushRun() error {
+	start := time.Now()
+	defer func() { s.stats.SpillNanos += time.Since(start).Nanoseconds() }()
+	if s.sd == nil {
+		sd, err := newSpillDir(s.opts.TempDir, s.stats)
+		if err != nil {
+			return err
+		}
+		s.sd = sd
+	}
+	s.sortRows()
+	sw, err := s.sd.newWriter("run")
+	if err != nil {
+		return err
+	}
+	s.stats.SpillRuns++
+	for i, row := range s.rows {
+		tagged := make(Row, 0, len(row)+1)
+		tagged = append(tagged, NewInt(s.bufSeq[i]))
+		tagged = append(tagged, row...)
+		if err := sw.writeRow(tagged); err != nil {
+			return err
+		}
+	}
+	if err := sw.finish(); err != nil {
+		return err
+	}
+	s.runs = append(s.runs, sw)
+	s.rows = s.rows[:0]
+	s.bufSeq = s.bufSeq[:0]
+	s.bufSize = 0
+	return nil
+}
+
+// openMerge opens every run and seeds the k-way merge heap.
+func (s *sortIter) openMerge() error {
+	start := time.Now()
+	defer func() { s.stats.SpillNanos += time.Since(start).Nanoseconds() }()
+	s.merge = &runHeap{s: s}
+	for _, run := range s.runs {
+		sr, err := openSpill(run.path)
+		if err != nil {
+			s.merge.closeAll()
+			return err
+		}
+		src := &runSource{r: sr}
+		if err := src.advance(); err != nil && err != io.EOF {
+			s.merge.closeAll()
+			sr.close()
+			return err
+		}
+		if src.row != nil {
+			s.merge.items = append(s.merge.items, src)
+		} else {
+			sr.close()
+		}
+	}
+	heap.Init(s.merge)
+	return nil
+}
+
+func (s *sortIter) Next() (Row, error) {
+	if err := s.prepare(); err != nil {
+		return nil, err
+	}
+	if s.merge == nil {
+		if s.pos >= len(s.rows) {
+			return nil, io.EOF
+		}
+		row := s.rows[s.pos]
+		s.pos++
+		return row, nil
+	}
+	if len(s.merge.items) == 0 {
+		return nil, io.EOF
+	}
+	src := s.merge.items[0]
+	row := src.row
+	if err := src.advance(); err != nil && err != io.EOF {
+		s.err = err
+		return nil, err
+	}
+	if src.row == nil {
+		src.r.close()
+		heap.Pop(s.merge)
+	} else {
+		heap.Fix(s.merge, 0)
+	}
+	return row, nil
+}
+
+func (s *sortIter) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.in.Close()
+	if s.merge != nil {
+		s.merge.closeAll()
+	}
+	if e := s.sd.remove(); err == nil {
+		err = e
+	}
+	s.rows = nil
+	return err
+}
+
+// runSource is one run file in the merge, holding its current row.
+type runSource struct {
+	r   *spillReader
+	row Row
+	seq int64
+}
+
+// advance reads the next tagged row, splitting off the arrival index.
+func (rs *runSource) advance() error {
+	tagged, err := rs.r.readRow()
+	if err != nil {
+		rs.row = nil
+		return err
+	}
+	rs.seq = tagged[0].Int
+	rs.row = tagged[1:]
+	return nil
+}
+
+// runHeap is the k-way merge priority queue over run sources.
+type runHeap struct {
+	s     *sortIter
+	items []*runSource
+}
+
+func (h *runHeap) Len() int { return len(h.items) }
+func (h *runHeap) Less(i, j int) bool {
+	return h.s.less(h.items[i].row, h.items[j].row, h.items[i].seq, h.items[j].seq)
+}
+func (h *runHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *runHeap) Push(x interface{}) { h.items = append(h.items, x.(*runSource)) }
+func (h *runHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+func (h *runHeap) closeAll() {
+	for _, src := range h.items {
+		src.r.close()
+	}
+	h.items = nil
+}

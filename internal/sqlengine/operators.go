@@ -1,0 +1,830 @@
+package sqlengine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"unsafe"
+)
+
+// This file is the streaming operator layer: composable RowIter
+// implementations of the relational shapes the federation's decomposed
+// plans actually produce (scan → filter → project, two-table equi-joins,
+// UNION chains, ORDER BY / LIMIT), so integration can emit rows as the
+// sources produce them instead of materializing everything into a
+// scratch database first. The operators reuse the engine's expression
+// evaluator and key encoding so a pipelined plan is row-identical to the
+// scratch-engine reference; shapes the analyzer rejects fall back to the
+// scratch path unchanged.
+//
+// Operators that must buffer — a hash-join build side, an ORDER BY —
+// are governed by a byte budget (StreamOptions.BudgetBytes): past it the
+// hash join switches to a Grace-style partitioned spill and the sort
+// writes sorted runs, both to temp files that are removed on Close on
+// every exit path (success, error, cancellation).
+
+// StreamSource identifies one table input of a streaming branch.
+type StreamSource struct {
+	Table     string // logical table name (normalized)
+	Qualifier string // alias if present, else table name (normalized)
+}
+
+// StreamJoin describes the equi-join of a two-input branch. LeftKeys and
+// RightKeys are parallel column-name vectors on the respective inputs;
+// On is the full ON condition, re-checked on every key match exactly as
+// the scratch executor's residual pass does.
+type StreamJoin struct {
+	Kind      JoinKind // JoinInner or JoinLeft
+	On        Expr
+	LeftKeys  []string
+	RightKeys []string
+
+	// Strategy, chosen by the caller's planner. Merge runs a merge join
+	// and requires both inputs ordered ascending by their key vectors
+	// (inner joins only). Otherwise a hash join runs, building the right
+	// input unless BuildLeft is set (inner joins only: a LEFT join must
+	// build the right side so unmatched probe rows can be emitted).
+	Merge     bool
+	BuildLeft bool
+}
+
+// StreamBranch is one UNION branch of a streaming plan.
+type StreamBranch struct {
+	Sel    *SelectStmt
+	Inputs []StreamSource // one (scan) or two (join)
+	Join   *StreamJoin    // nil for single-input branches
+
+	// UnionAll records the link flag from this branch's statement to the
+	// rest of the chain (meaningless for the last branch).
+	UnionAll bool
+
+	// OutCols are the branch's output column names, resolved at analysis
+	// time; orderKeys are the ORDER BY keys resolved to output ordinals.
+	OutCols   []string
+	orderKeys []sortKey
+}
+
+// StreamPlan is the analyzed streaming form of a SELECT: the UNION chain
+// flattened into branches, each reduced to scan-or-join plus the
+// statement it came from.
+type StreamPlan struct {
+	Sel      *SelectStmt
+	Branches []*StreamBranch
+}
+
+// Columns returns the plan's output column names (the first branch's,
+// matching engine UNION semantics).
+func (p *StreamPlan) Columns() []string { return p.Branches[0].OutCols }
+
+// sortKey is one resolved ORDER BY key: an output column ordinal.
+type sortKey struct {
+	idx  int
+	desc bool
+}
+
+// AnalyzeStreamSelect decides whether sel is served by the streaming
+// operators and returns the plan, or ("", reason) naming the first
+// unsupported construct so explain output and fallback decisions can
+// report why the scratch engine ran instead. tableCols, when non-nil,
+// maps a logical table name to its column names (from the federation's
+// schema specs); it is needed to expand `*` items and to attribute
+// unqualified join-key references, and may be nil when callers only know
+// columns at runtime (then those shapes are rejected).
+func AnalyzeStreamSelect(sel *SelectStmt, tableCols func(table string) []string) (*StreamPlan, string) {
+	plan := &StreamPlan{Sel: sel}
+	width := -1
+	for s := sel; s != nil; s = s.Union {
+		br, reason := analyzeBranch(s, tableCols)
+		if br == nil {
+			return nil, reason
+		}
+		if width >= 0 && len(br.OutCols) != width {
+			// The engine raises the same mismatch at runtime; let the
+			// scratch path own the error so messages stay identical.
+			return nil, "union column count mismatch"
+		}
+		width = len(br.OutCols)
+		plan.Branches = append(plan.Branches, br)
+	}
+	return plan, ""
+}
+
+func analyzeBranch(sel *SelectStmt, tableCols func(table string) []string) (*StreamBranch, string) {
+	switch {
+	case len(sel.From) == 0:
+		return nil, "no FROM clause"
+	case len(sel.From) > 1:
+		return nil, "comma join"
+	case len(sel.Joins) > 1:
+		return nil, "more than two tables"
+	case len(sel.GroupBy) > 0 || sel.Having != nil:
+		return nil, "aggregation"
+	}
+	for _, it := range sel.Items {
+		if it.Expr != nil && containsAggregate(it.Expr) {
+			return nil, "aggregation"
+		}
+		if it.Expr != nil && exprHasSubquery(it.Expr) {
+			return nil, "subquery"
+		}
+	}
+	if sel.Where != nil && exprHasSubquery(sel.Where) {
+		return nil, "subquery"
+	}
+	for _, oi := range sel.OrderBy {
+		if exprHasSubquery(oi.Expr) {
+			return nil, "subquery"
+		}
+	}
+
+	br := &StreamBranch{Sel: sel, UnionAll: sel.UnionAll}
+	br.Inputs = append(br.Inputs, sourceOf(sel.From[0]))
+	if len(sel.Joins) == 1 {
+		jc := sel.Joins[0]
+		if jc.Kind != JoinInner && jc.Kind != JoinLeft {
+			return nil, "unsupported join kind"
+		}
+		if jc.On == nil {
+			return nil, "join without ON"
+		}
+		if exprHasSubquery(jc.On) {
+			return nil, "subquery"
+		}
+		right := sourceOf(jc.Table)
+		lk, rk := equiKeysByName(jc.On, br.Inputs[0], right, tableCols)
+		if len(lk) == 0 {
+			return nil, "join without equi-keys"
+		}
+		br.Inputs = append(br.Inputs, right)
+		br.Join = &StreamJoin{Kind: jc.Kind, On: jc.On, LeftKeys: lk, RightKeys: rk}
+	}
+
+	cols, reason := branchOutputCols(sel, br.Inputs, tableCols)
+	if cols == nil {
+		return nil, reason
+	}
+	br.OutCols = cols
+
+	for _, oi := range sel.OrderBy {
+		idx := outputOrdinal(oi.Expr, cols)
+		if idx < 0 {
+			return nil, "ORDER BY is not an output column"
+		}
+		br.orderKeys = append(br.orderKeys, sortKey{idx: idx, desc: oi.Desc})
+	}
+	return br, ""
+}
+
+func sourceOf(tr TableRef) StreamSource {
+	q := tr.Alias
+	if q == "" {
+		q = tr.Name
+	}
+	return StreamSource{Table: normalizeName(tr.Name), Qualifier: normalizeName(q)}
+}
+
+// equiKeysByName extracts the top-level conjunctive `col = col`
+// predicates of cond that connect left and right, attributed by
+// qualifier (or, for unqualified references, by unambiguous membership
+// in exactly one side's column set). Predicates it cannot attribute stay
+// in the residual, mirroring findEquiPairs' schema-lookup behaviour.
+func equiKeysByName(cond Expr, left, right StreamSource, tableCols func(string) []string) (lk, rk []string) {
+	side := func(ref *ColumnRef) int { // 0 left, 1 right, -1 unknown
+		q := normalizeName(ref.Table)
+		switch q {
+		case "":
+			if tableCols == nil {
+				return -1
+			}
+			name := normalizeName(ref.Column)
+			inLeft := hasCol(tableCols(left.Table), name)
+			inRight := hasCol(tableCols(right.Table), name)
+			switch {
+			case inLeft && !inRight:
+				return 0
+			case inRight && !inLeft:
+				return 1
+			}
+			return -1
+		case left.Qualifier:
+			return 0
+		case right.Qualifier:
+			return 1
+		}
+		return -1
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		be, ok := e.(*BinaryExpr)
+		if !ok {
+			return
+		}
+		switch be.Op {
+		case "AND":
+			walk(be.L)
+			walk(be.R)
+		case "=":
+			lref, lok := be.L.(*ColumnRef)
+			rref, rok := be.R.(*ColumnRef)
+			if !lok || !rok {
+				return
+			}
+			ls, rs := side(lref), side(rref)
+			switch {
+			case ls == 0 && rs == 1:
+				lk = append(lk, normalizeName(lref.Column))
+				rk = append(rk, normalizeName(rref.Column))
+			case ls == 1 && rs == 0:
+				lk = append(lk, normalizeName(rref.Column))
+				rk = append(rk, normalizeName(lref.Column))
+			}
+		}
+	}
+	walk(cond)
+	return lk, rk
+}
+
+func hasCol(cols []string, name string) bool {
+	for _, c := range cols {
+		if normalizeName(c) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// branchOutputCols resolves the branch's output column names at analysis
+// time. Star items need the input tables' column lists; without them the
+// branch is rejected (callers fall back to the scratch engine, which
+// resolves stars at runtime).
+func branchOutputCols(sel *SelectStmt, inputs []StreamSource, tableCols func(string) []string) ([]string, string) {
+	var schema rowSchema
+	haveSchema := true
+	for _, in := range inputs {
+		var cols []string
+		if tableCols != nil {
+			cols = tableCols(in.Table)
+		}
+		if cols == nil {
+			haveSchema = false
+			break
+		}
+		for _, c := range cols {
+			schema = append(schema, colBinding{qualifier: in.Qualifier, name: normalizeName(c)})
+		}
+	}
+	if haveSchema {
+		cols, _, err := expandItems(sel.Items, schema)
+		if err != nil {
+			return nil, "unresolvable select list"
+		}
+		return cols, ""
+	}
+	var cols []string
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, "star select over tables with unknown columns"
+		}
+		name := it.Alias
+		if name == "" {
+			name = exprName(it.Expr)
+		}
+		cols = append(cols, name)
+	}
+	return cols, ""
+}
+
+// outputOrdinal replicates the executor's ORDER BY key resolution for
+// the streamable subset: an integer ordinal or a reference matching
+// exactly one output column. Anything else returns -1.
+func outputOrdinal(e Expr, outCols []string) int {
+	if lit, ok := e.(*Literal); ok && lit.Val.Kind == KindInt {
+		n := int(lit.Val.Int)
+		if n >= 1 && n <= len(outCols) {
+			return n - 1
+		}
+		return -1
+	}
+	if cr, ok := e.(*ColumnRef); ok {
+		found := -1
+		for i, c := range outCols {
+			if c == cr.Column {
+				if found >= 0 {
+					return -1
+				}
+				found = i
+			}
+		}
+		return found
+	}
+	return -1
+}
+
+// exprHasSubquery reports whether e contains an IN (SELECT ...) or
+// EXISTS: those re-enter the executor, which streaming evaluation does
+// not carry.
+func exprHasSubquery(e Expr) bool {
+	switch x := e.(type) {
+	case nil, *Literal, *ColumnRef, *Param:
+		return false
+	case *UnaryExpr:
+		return exprHasSubquery(x.X)
+	case *BinaryExpr:
+		return exprHasSubquery(x.L) || exprHasSubquery(x.R)
+	case *IsNullExpr:
+		return exprHasSubquery(x.X)
+	case *InExpr:
+		if x.Sub != nil {
+			return true
+		}
+		if exprHasSubquery(x.X) {
+			return true
+		}
+		for _, le := range x.List {
+			if exprHasSubquery(le) {
+				return true
+			}
+		}
+		return false
+	case *BetweenExpr:
+		return exprHasSubquery(x.X) || exprHasSubquery(x.Lo) || exprHasSubquery(x.Hi)
+	case *ExistsExpr:
+		return true
+	case *FuncCall:
+		for _, a := range x.Args {
+			if exprHasSubquery(a) {
+				return true
+			}
+		}
+		return false
+	case *CaseExpr:
+		if x.Operand != nil && exprHasSubquery(x.Operand) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if exprHasSubquery(w.When) || exprHasSubquery(w.Then) {
+				return true
+			}
+		}
+		if x.Else != nil {
+			return exprHasSubquery(x.Else)
+		}
+		return false
+	}
+	return true // unknown node: be conservative
+}
+
+// ---- Composition ----
+
+// StreamInput supplies the live iterator for one StreamSource, in the
+// order the plan's branches list them. Columns may carry the statically
+// known column names; when nil they are taken from Iter.Columns() the
+// first time the input is bound (which may open a lazy producer).
+type StreamInput struct {
+	Source  StreamSource
+	Columns []string
+	Iter    RowIter
+}
+
+// StreamStats accumulates operator telemetry for one streaming
+// execution. Fields are plain (the pipeline is single-consumer); readers
+// inspect them after the stream finishes.
+type StreamStats struct {
+	BuildRows  int64
+	BuildBytes int64
+
+	Spilled         bool
+	SpillPartitions int64 // partition files written by Grace hash joins
+	SpillRuns       int64 // sorted run files written by external sorts
+	SpillBytes      int64
+	SpillNanos      int64
+}
+
+// StreamOptions tunes a StreamSelect execution.
+type StreamOptions struct {
+	// BudgetBytes caps the in-memory footprint of buffering operators
+	// (hash-join build side, sort buffer). Zero selects a default
+	// (64 MiB); negative disables spilling (unbounded buffering).
+	BudgetBytes int64
+	// TempDir is the parent directory for spill files ("" = os.TempDir()).
+	TempDir string
+	// Stats, when non-nil, receives operator telemetry.
+	Stats *StreamStats
+}
+
+const defaultStreamBudget = 64 << 20
+
+func (o StreamOptions) budget() int64 {
+	if o.BudgetBytes == 0 {
+		return defaultStreamBudget
+	}
+	return o.BudgetBytes
+}
+
+// StreamSelect composes the streaming pipeline for an analyzed plan over
+// live inputs (flattened across branches, matching plan.Branches[i].Inputs
+// order). It takes ownership of every input iterator: they are closed
+// when the returned iterator is closed, or before returning an error.
+func StreamSelect(ctx context.Context, plan *StreamPlan, inputs []StreamInput, params []Value, opts StreamOptions) (RowIter, error) {
+	closeAll := func() {
+		for _, in := range inputs {
+			in.Iter.Close()
+		}
+	}
+	want := 0
+	for _, br := range plan.Branches {
+		want += len(br.Inputs)
+	}
+	if want != len(inputs) {
+		closeAll()
+		return nil, fmt.Errorf("sqlengine: stream plan wants %d inputs, got %d", want, len(inputs))
+	}
+
+	next := inputs
+	// Fold the UNION chain right-to-left so dedupe wrapping matches the
+	// executor's recursion: dedupe(b1 + dedupe(b2 + ...)).
+	var branchIters []RowIter
+	for _, br := range plan.Branches {
+		bi, err := composeBranch(ctx, br, next[:len(br.Inputs)], params, opts)
+		next = next[len(br.Inputs):]
+		if err != nil {
+			for _, it := range branchIters {
+				it.Close()
+			}
+			for _, in := range next {
+				in.Iter.Close()
+			}
+			return nil, err
+		}
+		branchIters = append(branchIters, bi)
+	}
+	out := branchIters[len(branchIters)-1]
+	for i := len(branchIters) - 2; i >= 0; i-- {
+		out = &unionIter{cols: branchIters[i].Columns(), a: branchIters[i], b: out}
+		if !plan.Branches[i].UnionAll {
+			out = &distinctIter{in: out}
+		}
+	}
+	return out, nil
+}
+
+// composeBranch builds one branch's pipeline:
+// scan|join → filter → project → distinct → sort → offset/limit,
+// mirroring the executor's phase order exactly.
+func composeBranch(ctx context.Context, br *StreamBranch, ins []StreamInput, params []Value, opts StreamOptions) (RowIter, error) {
+	sel := br.Sel
+	var rel relIter
+	left := &srcIter{in: ins[0].Iter, q: ins[0].Source.Qualifier, cols: ins[0].Columns}
+	if br.Join == nil {
+		rel = left
+	} else {
+		right := &srcIter{in: ins[1].Iter, q: ins[1].Source.Qualifier, cols: ins[1].Columns}
+		if br.Join.Merge {
+			rel = &mergeJoinIter{ctx: ctx, j: br.Join, left: left, right: right, params: params}
+		} else {
+			rel = newHashJoinIter(ctx, br.Join, left, right, params, opts)
+		}
+	}
+	if sel.Where != nil {
+		rel = &filterIter{in: rel, cond: sel.Where, params: params}
+	}
+	var out RowIter = &projectIter{in: rel, items: sel.Items, cols: br.OutCols, params: params}
+	if sel.Distinct {
+		out = &distinctIter{in: out}
+	}
+	if len(br.orderKeys) > 0 {
+		out = newSortIter(ctx, out, br.orderKeys, opts)
+	}
+	if sel.Offset > 0 || sel.Limit >= 0 {
+		out = &offsetLimitIter{in: out, offset: sel.Offset, limit: sel.Limit}
+	}
+	return out, nil
+}
+
+// ---- relation iterators (rows + qualified schema) ----
+
+// relIter is the internal contract between relational operators: like
+// RowIter but with a qualified schema for expression binding. schema()
+// may block to prepare the operator (a hash join drains its build side
+// there) and is called before the first next().
+type relIter interface {
+	schema() (rowSchema, error)
+	next() (Row, error)
+	close() error
+}
+
+// srcIter adapts one table input. The schema binds the input's columns
+// under the table's qualifier; when Columns were not statically known,
+// binding reads them from the iterator (opening lazy producers). A lazy
+// producer that reports no columns until its first row (a relay cursor
+// that failed to open, say) is probed with one Next so its real error —
+// not a misleading "unknown column" from an empty schema — aborts the
+// bind; a successfully probed row is replayed by the first next().
+type srcIter struct {
+	in      RowIter
+	q       string
+	cols    []string
+	sch     rowSchema
+	bound   bool
+	pending Row
+	havePen bool
+}
+
+func (s *srcIter) schema() (rowSchema, error) {
+	if !s.bound {
+		cols := s.cols
+		if cols == nil {
+			cols = s.in.Columns()
+			if len(cols) == 0 {
+				row, err := s.in.Next()
+				if err != nil && err != io.EOF {
+					return nil, err
+				}
+				if err == nil {
+					s.pending, s.havePen = row, true
+				}
+				cols = s.in.Columns()
+			}
+		}
+		s.sch = make(rowSchema, len(cols))
+		for i, c := range cols {
+			s.sch[i] = colBinding{qualifier: s.q, name: normalizeName(c)}
+		}
+		s.bound = true
+	}
+	return s.sch, nil
+}
+
+func (s *srcIter) next() (Row, error) {
+	if s.havePen {
+		row := s.pending
+		s.pending, s.havePen = nil, false
+		return row, nil
+	}
+	return s.in.Next()
+}
+
+func (s *srcIter) close() error { return s.in.Close() }
+
+// filterIter applies a WHERE condition with the executor's ROWNUM
+// semantics: the pseudo-column numbers candidate rows as they pass.
+type filterIter struct {
+	in     relIter
+	cond   Expr
+	params []Value
+	sch    rowSchema
+	bound  bool
+	kept   int64
+}
+
+func (f *filterIter) schema() (rowSchema, error) {
+	if !f.bound {
+		sch, err := f.in.schema()
+		if err != nil {
+			return nil, err
+		}
+		f.sch, f.bound = sch, true
+	}
+	return f.sch, nil
+}
+
+func (f *filterIter) next() (Row, error) {
+	sch, err := f.schema()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		row, err := f.in.next()
+		if err != nil {
+			return nil, err
+		}
+		ec := &evalContext{schema: sch, row: row, params: f.params, rownum: f.kept + 1}
+		v, err := evalExpr(f.cond, ec)
+		if err != nil {
+			return nil, err
+		}
+		if b, ok := v.AsBool(); ok && !v.IsNull() && b {
+			f.kept++
+			return row, nil
+		}
+	}
+}
+
+func (f *filterIter) close() error { return f.in.close() }
+
+// projectIter evaluates the SELECT list, converting the qualified
+// relation into the branch's output rows.
+type projectIter struct {
+	in     relIter
+	items  []SelectItem
+	cols   []string
+	params []Value
+	exprs  []Expr
+	sch    rowSchema
+	bound  bool
+}
+
+func (p *projectIter) Columns() []string { return p.cols }
+
+func (p *projectIter) bind() error {
+	if p.bound {
+		return nil
+	}
+	sch, err := p.in.schema()
+	if err != nil {
+		return err
+	}
+	cols, exprs, err := expandItems(p.items, sch)
+	if err != nil {
+		return err
+	}
+	if len(cols) != len(p.cols) {
+		return fmt.Errorf("sqlengine: stream projection resolved %d columns, planned %d", len(cols), len(p.cols))
+	}
+	p.sch, p.exprs, p.bound = sch, exprs, true
+	return nil
+}
+
+func (p *projectIter) Next() (Row, error) {
+	if err := p.bind(); err != nil {
+		return nil, err
+	}
+	row, err := p.in.next()
+	if err != nil {
+		return nil, err
+	}
+	ec := &evalContext{schema: p.sch, row: row, params: p.params}
+	out := make(Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := evalExpr(e, ec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *projectIter) Close() error { return p.in.close() }
+
+// distinctIter streams rows, dropping those whose encoded key was seen.
+// Memory is bounded by the number of distinct output rows, matching the
+// executor's dedupeRows.
+type distinctIter struct {
+	in   RowIter
+	seen map[string]bool
+}
+
+func (d *distinctIter) Columns() []string { return d.in.Columns() }
+
+func (d *distinctIter) Next() (Row, error) {
+	if d.seen == nil {
+		d.seen = make(map[string]bool)
+	}
+	for {
+		row, err := d.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		k := indexKey(row)
+		if !d.seen[k] {
+			d.seen[k] = true
+			return row, nil
+		}
+	}
+}
+
+func (d *distinctIter) Close() error { return d.in.Close() }
+
+// offsetLimitIter applies OFFSET/LIMIT (limit < 0 means none).
+type offsetLimitIter struct {
+	in      RowIter
+	offset  int64
+	limit   int64
+	skipped int64
+	emitted int64
+}
+
+func (o *offsetLimitIter) Columns() []string { return o.in.Columns() }
+
+func (o *offsetLimitIter) Next() (Row, error) {
+	if o.limit >= 0 && o.emitted >= o.limit {
+		return nil, io.EOF
+	}
+	for o.skipped < o.offset {
+		if _, err := o.in.Next(); err != nil {
+			return nil, err
+		}
+		o.skipped++
+	}
+	row, err := o.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	o.emitted++
+	return row, nil
+}
+
+func (o *offsetLimitIter) Close() error { return o.in.Close() }
+
+// unionIter concatenates two streams (UNION ALL shape; plain UNION wraps
+// the concatenation in a distinctIter).
+type unionIter struct {
+	cols  []string
+	a, b  RowIter
+	aDone bool
+}
+
+func (u *unionIter) Columns() []string { return u.cols }
+
+func (u *unionIter) Next() (Row, error) {
+	if !u.aDone {
+		row, err := u.a.Next()
+		if err == nil {
+			return row, nil
+		}
+		if err != io.EOF {
+			return nil, err
+		}
+		u.aDone = true
+	}
+	return u.b.Next()
+}
+
+func (u *unionIter) Close() error {
+	err := u.a.Close()
+	if err2 := u.b.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// ---- helpers shared by the join/sort operators ----
+
+const (
+	valueMemBytes    = int64(unsafe.Sizeof(Value{}))
+	sliceHdrMemBytes = int64(unsafe.Sizeof([]Value(nil)))
+)
+
+// rowMemBytes estimates the live-heap footprint of one buffered row; it
+// is the unit the operator byte budgets are counted in.
+func rowMemBytes(row Row) int64 {
+	n := sliceHdrMemBytes + int64(len(row))*valueMemBytes
+	for _, v := range row {
+		n += int64(len(v.Str)) + int64(len(v.Bytes))
+	}
+	return n
+}
+
+func resolveKeys(sch rowSchema, qualifier string, keys []string) ([]int, error) {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		j, err := sch.lookup(qualifier, k)
+		if err != nil {
+			// Unqualified fallback: relay inputs may expose columns under
+			// a different qualifier spelling.
+			if j2, err2 := sch.lookup("", k); err2 == nil {
+				idx[i] = j2
+				continue
+			}
+			return nil, err
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+func keyVals(row Row, idx []int) ([]Value, bool) {
+	vals := make([]Value, len(idx))
+	for i, j := range idx {
+		vals[i] = row[j]
+		if vals[i].IsNull() {
+			return nil, false // NULL join keys never match
+		}
+	}
+	return vals, true
+}
+
+func compareKeys(a, b []Value) int {
+	for i := range a {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// evalResidual re-checks the full ON condition over a combined row, the
+// same way the executor's residual closure does.
+func evalResidual(cond Expr, sch rowSchema, row Row, params []Value) (bool, error) {
+	if cond == nil {
+		return true, nil
+	}
+	ec := &evalContext{schema: sch, row: row, params: params}
+	v, err := evalExpr(cond, ec)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.AsBool()
+	return ok && !v.IsNull() && b, nil
+}

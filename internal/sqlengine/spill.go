@@ -1,0 +1,227 @@
+package sqlengine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Spill-file machinery for the streaming operators: when a buffering
+// operator (hash-join build side, sort buffer) exceeds its byte budget
+// it writes rows to temp files under a per-operator directory and reads
+// them back partition by partition (Grace hash join) or run by run
+// (external merge sort). The format is a private, single-process scratch
+// encoding — length-prefixed values, no versioning — because the files
+// never outlive the query: the owning operator removes the whole
+// directory on Close on every exit path.
+
+// spillDir is the per-operator temp directory plus the shared telemetry
+// sink. All files of one operator live under dir so cleanup is one
+// RemoveAll, idempotent and safe after partial failures.
+type spillDir struct {
+	dir   string
+	stats *StreamStats
+	seq   int
+}
+
+func newSpillDir(parent string, stats *StreamStats) (*spillDir, error) {
+	dir, err := os.MkdirTemp(parent, "gridrdb-spill-")
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: creating spill dir: %w", err)
+	}
+	if stats == nil {
+		stats = &StreamStats{}
+	}
+	stats.Spilled = true
+	return &spillDir{dir: dir, stats: stats}, nil
+}
+
+func (sd *spillDir) remove() error {
+	if sd == nil || sd.dir == "" {
+		return nil
+	}
+	err := os.RemoveAll(sd.dir)
+	sd.dir = ""
+	return err
+}
+
+// spillWriter appends encoded rows to one spill file.
+type spillWriter struct {
+	sd    *spillDir
+	f     *os.File
+	w     *bufio.Writer
+	path  string
+	rows  int64
+	bytes int64
+	buf   []byte
+}
+
+func (sd *spillDir) newWriter(kind string) (*spillWriter, error) {
+	sd.seq++
+	path := filepath.Join(sd.dir, fmt.Sprintf("%s-%04d.spill", kind, sd.seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: creating spill file: %w", err)
+	}
+	return &spillWriter{sd: sd, f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}, nil
+}
+
+func (sw *spillWriter) writeRow(row Row) error {
+	b := sw.buf[:0]
+	b = binary.AppendUvarint(b, uint64(len(row)))
+	for _, v := range row {
+		b = append(b, byte(v.Kind))
+		switch v.Kind {
+		case KindNull:
+		case KindInt:
+			b = binary.AppendVarint(b, v.Int)
+		case KindFloat:
+			var fb [8]byte
+			binary.LittleEndian.PutUint64(fb[:], math.Float64bits(v.Float))
+			b = append(b, fb[:]...)
+		case KindString:
+			b = binary.AppendUvarint(b, uint64(len(v.Str)))
+			b = append(b, v.Str...)
+		case KindBool:
+			if v.Bool {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		case KindTime:
+			tb, err := v.Time.MarshalBinary()
+			if err != nil {
+				return fmt.Errorf("sqlengine: spilling timestamp: %w", err)
+			}
+			b = binary.AppendUvarint(b, uint64(len(tb)))
+			b = append(b, tb...)
+		case KindBytes:
+			b = binary.AppendUvarint(b, uint64(len(v.Bytes)))
+			b = append(b, v.Bytes...)
+		default:
+			return fmt.Errorf("sqlengine: cannot spill value kind %s", v.Kind)
+		}
+	}
+	sw.buf = b[:0]
+	if _, err := sw.w.Write(b); err != nil {
+		return fmt.Errorf("sqlengine: writing spill file: %w", err)
+	}
+	sw.rows++
+	sw.bytes += int64(len(b))
+	sw.sd.stats.SpillBytes += int64(len(b))
+	return nil
+}
+
+// finish flushes the writer and leaves the file on disk for reading.
+func (sw *spillWriter) finish() error {
+	if err := sw.w.Flush(); err != nil {
+		sw.f.Close()
+		return fmt.Errorf("sqlengine: flushing spill file: %w", err)
+	}
+	return sw.f.Close()
+}
+
+// spillReader streams rows back from a finished spill file.
+type spillReader struct {
+	f *os.File
+	r *bufio.Reader
+}
+
+func openSpill(path string) (*spillReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: opening spill file: %w", err)
+	}
+	return &spillReader{f: f, r: bufio.NewReaderSize(f, 1<<16)}, nil
+}
+
+// readRow returns the next row or io.EOF at end of file.
+func (sr *spillReader) readRow() (Row, error) {
+	n, err := binary.ReadUvarint(sr.r)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: reading spill file: %w", err)
+	}
+	row := make(Row, n)
+	for i := range row {
+		kb, err := sr.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("sqlengine: truncated spill row: %w", err)
+		}
+		switch Kind(kb) {
+		case KindNull:
+			row[i] = Null()
+		case KindInt:
+			iv, err := binary.ReadVarint(sr.r)
+			if err != nil {
+				return nil, fmt.Errorf("sqlengine: truncated spill int: %w", err)
+			}
+			row[i] = NewInt(iv)
+		case KindFloat:
+			var fb [8]byte
+			if _, err := io.ReadFull(sr.r, fb[:]); err != nil {
+				return nil, fmt.Errorf("sqlengine: truncated spill float: %w", err)
+			}
+			row[i] = NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(fb[:])))
+		case KindString:
+			b, err := sr.readBlob()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = NewString(string(b))
+		case KindBool:
+			bb, err := sr.r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("sqlengine: truncated spill bool: %w", err)
+			}
+			row[i] = NewBool(bb != 0)
+		case KindTime:
+			b, err := sr.readBlob()
+			if err != nil {
+				return nil, err
+			}
+			var t time.Time
+			if err := t.UnmarshalBinary(b); err != nil {
+				return nil, fmt.Errorf("sqlengine: decoding spilled timestamp: %w", err)
+			}
+			row[i] = NewTime(t)
+		case KindBytes:
+			b, err := sr.readBlob()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = NewBytes(append([]byte(nil), b...))
+		default:
+			return nil, fmt.Errorf("sqlengine: corrupt spill file: kind byte %d", kb)
+		}
+	}
+	return row, nil
+}
+
+func (sr *spillReader) readBlob() ([]byte, error) {
+	n, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: truncated spill blob: %w", err)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, b); err != nil {
+		return nil, fmt.Errorf("sqlengine: truncated spill blob: %w", err)
+	}
+	return b, nil
+}
+
+func (sr *spillReader) close() error {
+	if sr == nil || sr.f == nil {
+		return nil
+	}
+	err := sr.f.Close()
+	sr.f = nil
+	return err
+}

@@ -17,6 +17,14 @@ import (
 // result.
 const integrateBatch = 256
 
+// inferPrefixRows caps the kind-inference prefix of loadTableFromIter: a
+// column that is NULL for this many rows stops holding the load's memory
+// hostage and is typed as string (every value coerces to it). Without
+// the cap an all-NULL column re-buffered the entire stream before the
+// first insert, recreating exactly the unbounded materialization the
+// iterator path exists to avoid.
+const inferPrefixRows = 4 * integrateBatch
+
 // StreamLoad pairs one logical table with the incremental row stream that
 // feeds it during integration. The stream may come from a local member
 // database or — in the data access layer's federated path — from a cursor
@@ -31,11 +39,11 @@ type StreamLoad struct {
 // IntegrateIters runs the final integration step of a decomposed plan over
 // incremental inputs: each load streams into a scratch table in bounded
 // batches and the original statement then executes locally over the loaded
-// tables. Column kinds are inferred from each stream's prefix — rows are
-// buffered until every column has produced a non-null sample (the same
-// first-non-null rule the materialized integration applied), so a typed
-// column that starts with a run of NULLs is still created under its real
-// kind; a column that is null for the entire stream defaults to string.
+// tables. Column kinds are inferred from each stream's bounded prefix —
+// rows are buffered until every column has produced a non-null sample or
+// the prefix cap is hit, so a typed column that starts with a run of
+// NULLs is still created under its real kind; a column with no sample in
+// the prefix defaults to string.
 // All iterators are closed before return, on success and error alike; the
 // first failing load aborts the rest.
 func IntegrateIters(ctx context.Context, sel *sqlengine.SelectStmt, loads []StreamLoad, params []sqlengine.Value) (*sqlengine.ResultSet, error) {
@@ -77,13 +85,12 @@ func specColumnDefs(spec xspec.TableSpec) []sqlengine.ColumnDef {
 // integrateBatch-row batches, checking ctx between rows so a cancelled
 // integration stops pulling promptly. defs may carry spec-derived column
 // definitions; when empty they are inferred from the stream itself: rows
-// are buffered until every column has yielded a non-null sample (or the
-// stream ends), exactly the first-non-null rule the old materialized
-// integration applied over the whole result. The prefix buffer is
-// typically a handful of rows; a column that is null for the entire
-// stream re-buffers what the scratch table would hold anyway, so peak
-// memory never exceeds the materialized path it replaced. The iterator is
-// not closed here — callers own its lifecycle.
+// are buffered until every column has yielded a non-null sample, the
+// stream ends, or the prefix reaches inferPrefixRows — whichever comes
+// first. Columns still unsampled at that point are typed as string, so
+// an all-NULL (or very sparsely populated) column costs a bounded prefix
+// instead of re-buffering the whole stream. The iterator is not closed
+// here — callers own its lifecycle.
 func loadTableFromIter(ctx context.Context, scratch *sqlengine.Engine, logical string, defs []sqlengine.ColumnDef, it sqlengine.RowIter) error {
 	var prefix []sqlengine.Row
 	eof := false
@@ -118,7 +125,7 @@ func loadTableFromIter(ctx context.Context, scratch *sqlengine.Engine, logical s
 		for _, row := range prefix {
 			note(row)
 		}
-		for !eof && known < len(cols) {
+		for !eof && known < len(cols) && len(prefix) < inferPrefixRows {
 			if err := ctx.Err(); err != nil {
 				return err
 			}

@@ -1,0 +1,401 @@
+package unity
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"gridrdb/internal/sqlengine"
+	"gridrdb/internal/xspec"
+)
+
+// This file is the federation side of the streaming operator layer
+// (internal/sqlengine/operators.go): planStream decides at plan time
+// whether a decomposed query can run pipelined — rows flowing from the
+// member databases through join/filter/project operators straight to the
+// consumer — and ExecuteStreamOp executes that decision, falling back to
+// the materialize-into-scratch path for shapes the analyzer rejects.
+//
+// The payoff is the paper's integration bottleneck: a decomposed join
+// previously loaded every partial result into scratch tables before the
+// first row could be returned, so time-to-first-row and peak memory both
+// grew with the total row count. Pipelined, time-to-first-row is the
+// build side plus one probe row, and memory is bounded by the build side
+// — or by ScratchMaxBytes once the build spills.
+
+// specLogicalCols lists a table spec's logical column names in spec
+// order — the column layout of the sub-query tableSubQuery renders (it
+// SELECTs exactly these columns). Nil when the spec carries no columns
+// (then the sub-query is SELECT * and the layout is only known at
+// runtime).
+func specLogicalCols(spec xspec.TableSpec) []string {
+	if len(spec.Columns) == 0 {
+		return nil
+	}
+	cols := make([]string, len(spec.Columns))
+	for i, c := range spec.Columns {
+		logical := strings.ToLower(c.Logical)
+		if logical == "" {
+			logical = strings.ToLower(c.Name)
+		}
+		cols[i] = logical
+	}
+	return cols
+}
+
+// streamBudget resolves the effective operator byte budget (mirrors
+// sqlengine.StreamOptions: 0 selects the default, negative disables
+// spilling).
+func (f *Federation) streamBudget() int64 {
+	if f.ScratchMaxBytes == 0 {
+		return 64 << 20
+	}
+	return f.ScratchMaxBytes
+}
+
+// planStream analyzes a decomposed plan for the streaming operators and,
+// when it qualifies, picks the join strategy for each branch: hash join
+// with the smaller side (by spec row-count stats) as the build, or a
+// merge join — pushing ORDER BY on the join keys into both sub-queries —
+// when even the smaller side is estimated to blow the byte budget.
+// Rejections record the analyzer's reason for explain output.
+func (f *Federation) planStream(plan *Plan) {
+	colsOf := func(table string) []string {
+		ld := plan.loadFor(table)
+		if ld == nil {
+			return nil
+		}
+		return specLogicalCols(ld.spec)
+	}
+	sp, reason := sqlengine.AnalyzeStreamSelect(plan.sel, colsOf)
+	if sp == nil {
+		plan.streamReason = reason
+		return
+	}
+	ops := make([]string, len(sp.Branches))
+	for i, br := range sp.Branches {
+		ops[i] = f.planBranchJoin(plan, sp, br)
+	}
+	plan.stream = sp
+	if len(ops) == 1 {
+		plan.streamOp = "pipelined " + ops[0]
+	} else {
+		plan.streamOp = "pipelined union(" + strings.Join(ops, ", ") + ")"
+	}
+}
+
+// planBranchJoin sets one branch's join strategy and returns its label.
+func (f *Federation) planBranchJoin(plan *Plan, sp *sqlengine.StreamPlan, br *sqlengine.StreamBranch) string {
+	if br.Join == nil {
+		return "scan"
+	}
+	if br.Join.Kind != sqlengine.JoinInner {
+		// LEFT joins must build the right side so unmatched probe rows
+		// stream out; merge joins are inner-only.
+		return "hash-join(build=right)"
+	}
+	lt, rt := br.Inputs[0].Table, br.Inputs[1].Table
+	lrows, rrows := plan.specRows(lt), plan.specRows(rt)
+	if f.mergeJoinPreferred(plan, sp, br, lrows, rrows) {
+		if f.renderOrderedLoads(plan, br) == nil {
+			br.Join.Merge = true
+			return "merge-join"
+		}
+		// A dialect that cannot express the ordered sub-query falls back
+		// to the hash strategies below.
+	}
+	if lrows > 0 && (rrows <= 0 || lrows < rrows) {
+		br.Join.BuildLeft = true
+		return "hash-join(build=left)"
+	}
+	return "hash-join(build=right)"
+}
+
+// specRows returns the spec's row-count statistic for a logical table
+// (0 = unknown).
+func (p *Plan) specRows(logical string) int {
+	ld := p.loadFor(logical)
+	if ld == nil {
+		return 0
+	}
+	return ld.spec.Rows
+}
+
+// estTableBytes is the crude in-memory size estimate backing the merge-
+// join decision: spec row count times a per-row constant plus per-column
+// Value overhead. It only needs to be right about which side of the byte
+// budget a table lands on, not about bytes.
+func (p *Plan) estTableBytes(logical string) int64 {
+	ld := p.loadFor(logical)
+	if ld == nil || ld.spec.Rows <= 0 {
+		return 0
+	}
+	return int64(ld.spec.Rows) * int64(56+32*len(ld.spec.Columns))
+}
+
+// mergeJoinPreferred decides whether to order both inputs at the sources
+// and merge instead of hash-building: only for a single-branch inner
+// join of two distinct tables whose smaller side is still estimated over
+// the byte budget (so a hash build would spill anyway), and only when
+// every join key is a numeric or timestamp column on both sides — the
+// merge relies on both sources agreeing on the sort order, which string
+// collations do not guarantee across heterogeneous databases.
+func (f *Federation) mergeJoinPreferred(plan *Plan, sp *sqlengine.StreamPlan, br *sqlengine.StreamBranch, lrows, rrows int) bool {
+	budget := f.streamBudget()
+	if budget <= 0 || len(sp.Branches) != 1 {
+		return false
+	}
+	lt, rt := br.Inputs[0].Table, br.Inputs[1].Table
+	if strings.EqualFold(lt, rt) {
+		// A self-join would need two differently-ordered renders of the
+		// same load; keep the hash path.
+		return false
+	}
+	if lrows <= 0 || rrows <= 0 {
+		return false // no stats: cannot justify double ORDER BY pushdown
+	}
+	smaller := plan.estTableBytes(lt)
+	if b := plan.estTableBytes(rt); b < smaller {
+		smaller = b
+	}
+	if smaller <= budget {
+		return false
+	}
+	return keysOrderable(plan.loadFor(lt), br.Join.LeftKeys) &&
+		keysOrderable(plan.loadFor(rt), br.Join.RightKeys)
+}
+
+// keysOrderable reports whether every key column has a spec kind whose
+// ordering is collation-free (numeric or timestamp).
+func keysOrderable(ld *tableLoad, keys []string) bool {
+	if ld == nil {
+		return false
+	}
+	for _, k := range keys {
+		found := false
+		for _, c := range ld.spec.Columns {
+			logical := strings.ToLower(c.Logical)
+			if logical == "" {
+				logical = strings.ToLower(c.Name)
+			}
+			if logical != strings.ToLower(k) {
+				continue
+			}
+			switch kindFromName(c.Kind) {
+			case sqlengine.KindInt, sqlengine.KindFloat, sqlengine.KindTime:
+				found = true
+			}
+			break
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// renderOrderedLoads re-renders the two joined tables' sub-queries with
+// ORDER BY on their join keys, updating the plan's loads and the public
+// Subs in place. Any render error leaves the plan unchanged (the caller
+// keeps the hash strategy; loads were only rewritten on full success).
+func (f *Federation) renderOrderedLoads(plan *Plan, br *sqlengine.StreamBranch) error {
+	type rewrite struct {
+		idx int
+		sql string
+	}
+	var rewrites []rewrite
+	for i := range plan.loads {
+		ld := &plan.loads[i]
+		var keys []string
+		switch {
+		case strings.EqualFold(ld.logical, br.Inputs[0].Table):
+			keys = br.Join.LeftKeys
+		case strings.EqualFold(ld.logical, br.Inputs[1].Table):
+			keys = br.Join.RightKeys
+		default:
+			continue
+		}
+		sqlText, err := f.tableSubQuery(ld.source, ld.loc, ld.use, keys)
+		if err != nil {
+			return err
+		}
+		rewrites = append(rewrites, rewrite{idx: i, sql: sqlText})
+	}
+	for _, rw := range rewrites {
+		plan.loads[rw.idx].sql = rw.sql
+		plan.Subs[rw.idx].SQL = rw.sql
+	}
+	return nil
+}
+
+// ---- execution ----
+
+// StreamExec reports how a streaming execution ran: which operator
+// pipeline served it (or why the scratch fallback did) and, for
+// pipelined plans, the operator telemetry — valid once the stream has
+// been drained or closed.
+type StreamExec struct {
+	// Operator is "pushdown", the plan's pipelined operator label, or
+	// "scratch" for the materialize-and-integrate fallback.
+	Operator string
+	// Fallback names why the scratch path ran ("" otherwise): the
+	// analyzer's rejection reason, or "stream operators disabled".
+	Fallback string
+	// Stats is the operator telemetry sink (nil on pushdown/scratch).
+	Stats *sqlengine.StreamStats
+}
+
+// ExecuteStreamOp runs a previously produced plan as an incremental row
+// stream and reports which execution path served it. Pushdown plans
+// stream straight off the chosen member database. Decomposed plans that
+// planStream accepted run on the pipelined operators: each per-table
+// sub-query is opened as a live cursor and rows flow through the
+// join/filter/project pipeline as the sources produce them — nothing is
+// materialized, and buffering operators spill to disk past
+// ScratchMaxBytes. Remaining shapes (or DisableStreamOps) execute
+// materialized on the scratch engine and stream from memory.
+//
+// Like the pushdown stream — and unlike scratch loads — the pipelined
+// path is not bounded by SourceBudget: its cursors are paced by the
+// consumer, which may legitimately hold them open longer than any one
+// source should be allowed to stall a scatter-gather.
+func (f *Federation) ExecuteStreamOp(ctx context.Context, plan *Plan, params ...sqlengine.Value) (sqlengine.RowIter, *StreamExec, error) {
+	if plan.Pushdown {
+		f.queries.Add(1)
+		f.pushdowns.Add(1)
+		f.subqueries.Add(1)
+		f.logSubquery(ctx, plan.pushSource, "")
+		it, err := f.runOnSourceStreamCtx(ctx, plan.pushSource, plan.Subs[0].SQL, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		return it, &StreamExec{Operator: "pushdown"}, nil
+	}
+	if plan.stream != nil && !f.DisableStreamOps {
+		return f.executeStreamPlan(ctx, plan, params)
+	}
+	fallback := plan.streamReason
+	if plan.stream != nil {
+		fallback = "stream operators disabled"
+	}
+	rs, err := f.ExecuteContext(ctx, plan, params...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sqlengine.SliceIter(rs), &StreamExec{Operator: "scratch", Fallback: fallback}, nil
+}
+
+// executeStreamPlan opens one live source cursor per branch input (a
+// table referenced by two branches runs its sub-query once per branch —
+// each cursor is single-consumer) and composes the operator pipeline
+// over them.
+func (f *Federation) executeStreamPlan(ctx context.Context, plan *Plan, params []sqlengine.Value) (sqlengine.RowIter, *StreamExec, error) {
+	f.queries.Add(1)
+	var inputs []sqlengine.StreamInput
+	closeInputs := func() {
+		for _, in := range inputs {
+			in.Iter.Close()
+		}
+	}
+	for _, br := range plan.stream.Branches {
+		for _, src := range br.Inputs {
+			ld := plan.loadFor(src.Table)
+			if ld == nil {
+				closeInputs()
+				return nil, nil, fmt.Errorf("unity: stream plan references unplanned table %q", src.Table)
+			}
+			f.logSubquery(ctx, ld.source, ld.logical)
+			it, err := f.runOnSourceStreamCtx(ctx, ld.source, ld.sql, nil)
+			if err != nil {
+				closeInputs()
+				return nil, nil, err
+			}
+			inputs = append(inputs, sqlengine.StreamInput{
+				Source:  src,
+				Columns: specLogicalCols(ld.spec),
+				Iter:    it,
+			})
+		}
+	}
+	f.subqueries.Add(int64(len(inputs)))
+	stats := &sqlengine.StreamStats{}
+	out, err := sqlengine.StreamSelect(ctx, plan.stream, inputs, params, sqlengine.StreamOptions{
+		BudgetBytes: f.ScratchMaxBytes,
+		Stats:       stats,
+	})
+	if err != nil {
+		return nil, nil, err // StreamSelect closed the inputs
+	}
+	return out, &StreamExec{Operator: plan.streamOp, Stats: stats}, nil
+}
+
+// ---- streaming integration over caller-supplied inputs ----
+
+// PlanIntegrateStream analyzes the integration statement of a decomposed
+// plan whose inputs the caller already holds as live iterators (the data
+// access layer's mixed local/remote path). It returns the operator plan,
+// or ("", reason) when the shape needs the scratch engine. Beyond the
+// analyzer's own rules it requires each logical table to be referenced
+// exactly once, because the caller has a single single-consumer iterator
+// per table. Column layouts are unknown here (no specs), so star selects
+// and unqualified join keys are rejected by the analyzer.
+func PlanIntegrateStream(sel *sqlengine.SelectStmt) (*sqlengine.StreamPlan, string) {
+	sp, reason := sqlengine.AnalyzeStreamSelect(sel, nil)
+	if sp == nil {
+		return nil, reason
+	}
+	count := map[string]int{}
+	for _, br := range sp.Branches {
+		for _, in := range br.Inputs {
+			count[in.Table]++
+			if count[in.Table] > 1 {
+				return nil, fmt.Sprintf("table %q referenced more than once", in.Table)
+			}
+		}
+	}
+	return sp, ""
+}
+
+// IntegrateStream is the pipelined counterpart of IntegrateIters: it
+// wires the caller's per-table iterators into the operator pipeline of a
+// plan produced by PlanIntegrateStream and returns the live result
+// stream plus its telemetry sink (populated as the stream drains).
+// Ownership of every load iterator transfers here: each is closed when
+// the returned iterator is closed, or before an error return.
+func IntegrateStream(ctx context.Context, sp *sqlengine.StreamPlan, loads []StreamLoad, params []sqlengine.Value, budget int64) (sqlengine.RowIter, *sqlengine.StreamStats, error) {
+	byName := make(map[string]StreamLoad, len(loads))
+	for _, ld := range loads {
+		byName[strings.ToLower(ld.Logical)] = ld
+	}
+	used := make(map[string]bool, len(loads))
+	var inputs []sqlengine.StreamInput
+	for _, br := range sp.Branches {
+		for _, src := range br.Inputs {
+			ld, ok := byName[src.Table]
+			if !ok {
+				for _, l := range loads {
+					l.Iter.Close()
+				}
+				return nil, nil, fmt.Errorf("unity: stream integration has no input for table %q", src.Table)
+			}
+			used[src.Table] = true
+			inputs = append(inputs, sqlengine.StreamInput{Source: src, Iter: ld.Iter})
+		}
+	}
+	// Loads the plan never references (shouldn't happen, but the caller
+	// handed us their lifecycle) are released immediately.
+	for name, ld := range byName {
+		if !used[name] {
+			ld.Iter.Close()
+		}
+	}
+	stats := &sqlengine.StreamStats{}
+	out, err := sqlengine.StreamSelect(ctx, sp, inputs, params, sqlengine.StreamOptions{
+		BudgetBytes: budget,
+		Stats:       stats,
+	})
+	if err != nil {
+		return nil, nil, err // StreamSelect closed the inputs
+	}
+	return out, stats, nil
+}

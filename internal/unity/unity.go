@@ -68,8 +68,24 @@ type Federation struct {
 	// budget. 0 (the default) applies no per-source bound. Pushdown plans
 	// are not bounded by it: their stream is paced by the consumer, which
 	// may legitimately page a cursor for longer than any one source should
-	// be allowed to stall a scatter-gather.
+	// be allowed to stall a scatter-gather. Pipelined streaming plans are
+	// consumer-paced the same way and are likewise unbounded.
 	SourceBudget time.Duration
+
+	// ScratchMaxBytes caps the in-memory footprint of buffering streaming
+	// operators (a pipelined hash-join's build side, an ORDER BY buffer):
+	// past it the operator spills to temp files instead of growing the
+	// heap. 0 selects the sqlengine default (64 MiB); negative disables
+	// spilling (unbounded buffering). The scratch-engine fallback path is
+	// not bounded by it — that is exactly the materialized footprint the
+	// streaming operators exist to avoid.
+	ScratchMaxBytes int64
+
+	// DisableStreamOps forces decomposed plans onto the materialize-into-
+	// scratch path even when the streaming operators could serve them.
+	// It exists for A/B measurement (benchrepro's join experiment) and as
+	// an operational escape hatch.
+	DisableStreamOps bool
 
 	// Logger receives structured records for sub-query dispatch (one per
 	// decomposed table load, carrying the query id from the context); nil
@@ -237,6 +253,14 @@ type Plan struct {
 	loads []tableLoad
 	// pushSource is the chosen source for pushdown plans.
 	pushSource string
+
+	// stream is the analyzed operator pipeline when the decomposed plan
+	// can run pipelined (see planStream); streamOp labels it for explain
+	// output. When nil, streamReason names the construct that forced the
+	// scratch-engine fallback.
+	stream       *sqlengine.StreamPlan
+	streamOp     string
+	streamReason string
 }
 
 type tableLoad struct {
@@ -245,6 +269,21 @@ type tableLoad struct {
 	sql     string
 	spec    xspec.TableSpec
 	loc     xspec.TableLocation
+	// use is the single query reference feeding predicate pushdown (nil
+	// when the table is referenced more than once); planStream needs it
+	// to re-render the sub-query with ORDER BY for merge joins.
+	use *tableUse
+}
+
+// loadFor finds the decomposed load feeding a logical table (nil if the
+// plan has none).
+func (p *Plan) loadFor(logical string) *tableLoad {
+	for i := range p.loads {
+		if strings.EqualFold(p.loads[i].logical, logical) {
+			return &p.loads[i]
+		}
+	}
+	return nil
 }
 
 // tableUse records one reference to a logical table in the query.
@@ -416,13 +455,14 @@ func (f *Federation) plan(sel *sqlengine.SelectStmt) (*Plan, error) {
 				}
 			}
 		}
-		subSQL, err := f.tableSubQuery(src, loc, use)
+		subSQL, err := f.tableSubQuery(src, loc, use, nil)
 		if err != nil {
 			return nil, err
 		}
-		plan.loads = append(plan.loads, tableLoad{logical: logical, source: src, sql: subSQL, spec: loc.Spec, loc: loc})
+		plan.loads = append(plan.loads, tableLoad{logical: logical, source: src, sql: subSQL, spec: loc.Spec, loc: loc, use: use})
 		plan.Subs = append(plan.Subs, SubQuery{Source: src, Table: logical, SQL: subSQL})
 	}
+	f.planStream(plan)
 	return plan, nil
 }
 
@@ -573,8 +613,10 @@ func (f *Federation) mapperFor(source string, tables []string, uses []tableUse) 
 }
 
 // tableSubQuery renders the per-table sub-query: all spec columns, plus
-// any single-table conjuncts of the scope's WHERE pushed down.
-func (f *Federation) tableSubQuery(source string, loc xspec.TableLocation, use *tableUse) (string, error) {
+// any single-table conjuncts of the scope's WHERE pushed down. orderCols,
+// when non-empty, appends ORDER BY over the named logical columns
+// (ascending) so a merge join can consume the stream key-ordered.
+func (f *Federation) tableSubQuery(source string, loc xspec.TableLocation, use *tableUse, orderCols []string) (string, error) {
 	d := f.dialectOf(source)
 	sub := &sqlengine.SelectStmt{Limit: -1}
 	alias := ""
@@ -607,6 +649,11 @@ func (f *Federation) tableSubQuery(source string, loc xspec.TableLocation, use *
 				sub.Where = &sqlengine.BinaryExpr{Op: "AND", L: sub.Where, R: c}
 			}
 		}
+	}
+	for _, oc := range orderCols {
+		sub.OrderBy = append(sub.OrderBy, sqlengine.OrderItem{
+			Expr: &sqlengine.ColumnRef{Column: strings.ToLower(oc)},
+		})
 	}
 	m := f.mapperFor(source, []string{loc.Spec.Logical}, nil)
 	if alias != "" {
@@ -730,16 +777,32 @@ type PlanExplain struct {
 	Tables []string
 	// Subs are the sub-queries that would run, with their chosen sources.
 	Subs []SubQuery
+	// Operator names the execution shape on the streaming path:
+	// "pushdown", a pipelined operator label ("pipelined hash-join
+	// (build=right)", "pipelined merge-join", ...), or "scratch" for the
+	// materialize-and-integrate fallback. StreamFallback carries the
+	// analyzer's reason when "scratch" was forced by the query's shape.
+	Operator       string
+	StreamFallback string
 }
 
 // Explain describes the plan without executing it.
 func (p *Plan) Explain() PlanExplain {
+	op := "scratch"
+	switch {
+	case p.Pushdown:
+		op = "pushdown"
+	case p.stream != nil:
+		op = p.streamOp
+	}
 	return PlanExplain{
-		Pushdown:    p.Pushdown,
-		Distributed: p.Distributed,
-		Source:      p.pushSource,
-		Tables:      p.Tables,
-		Subs:        p.Subs,
+		Pushdown:       p.Pushdown,
+		Distributed:    p.Distributed,
+		Source:         p.pushSource,
+		Tables:         p.Tables,
+		Subs:           p.Subs,
+		Operator:       op,
+		StreamFallback: p.streamReason,
 	}
 }
 
@@ -882,26 +945,11 @@ func (f *Federation) ExecuteContext(ctx context.Context, plan *Plan, params ...s
 }
 
 // ExecuteStreamContext runs a previously produced plan as an incremental
-// row stream. Pushdown plans — the shape of the paper's large scans —
-// stream straight off the chosen member database: the federation never
-// materializes the result, so a scan bigger than server memory can be
-// paged by the consumer, and cancelling ctx (or closing the iterator)
-// stops the backend query mid-scan. Decomposed plans must integrate their
-// partial results on the scratch engine, so they execute materialized and
-// the integrated rows are streamed from memory.
+// row stream: ExecuteStreamOp without the execution report. See there for
+// the path taxonomy (pushdown / pipelined operators / scratch fallback).
 func (f *Federation) ExecuteStreamContext(ctx context.Context, plan *Plan, params ...sqlengine.Value) (sqlengine.RowIter, error) {
-	if plan.Pushdown {
-		f.queries.Add(1)
-		f.pushdowns.Add(1)
-		f.subqueries.Add(1)
-		f.logSubquery(ctx, plan.pushSource, "")
-		return f.runOnSourceStreamCtx(ctx, plan.pushSource, plan.Subs[0].SQL, params)
-	}
-	rs, err := f.ExecuteContext(ctx, plan, params...)
-	if err != nil {
-		return nil, err
-	}
-	return sqlengine.SliceIter(rs), nil
+	it, _, err := f.ExecuteStreamOp(ctx, plan, params...)
+	return it, err
 }
 
 // QueryStreamContext plans a federated query and executes it as a stream

@@ -45,6 +45,30 @@ type DB interface {
 	Execer
 }
 
+// BulkInserter is the typed bulk-load surface a target may offer in
+// addition to Execer. Local engines implement it (sqlengine.Engine), and
+// the loader uses it to insert decoded staging batches directly —
+// skipping the render-to-SQL / re-parse round trip — while wire targets
+// keep the rendered multi-row INSERT path.
+type BulkInserter interface {
+	InsertRows(table string, rows []sqlengine.Row) (int64, error)
+}
+
+// execInsert inserts rows into table on target: through the typed bulk
+// path when the target supports it, otherwise via a multi-row INSERT
+// rendered in the target's dialect.
+func execInsert(target Execer, dialect *sqlengine.Dialect, table string, rows []sqlengine.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if bulk, ok := target.(BulkInserter); ok {
+		_, err := bulk.InsertRows(table, rows)
+		return err
+	}
+	_, err := target.Exec(insertSQL(dialect, table, rows))
+	return err
+}
+
 // ETL configures the pipeline.
 type ETL struct {
 	// Staging selects the prototype's temp-file path (true, default via
@@ -237,7 +261,9 @@ func (e *ETL) ExtractNormalized(src Queryer, cfg ntuple.Config, w io.Writer) (in
 }
 
 // LoadStaged reads staging rows from r and inserts them into target table
-// via batched INSERTs rendered in the target's dialect.
+// in batches: typed bulk inserts when the target is a local engine
+// (BulkInserter), batched INSERTs rendered in the target's dialect
+// otherwise.
 func (e *ETL) LoadStaged(target Execer, dialect *sqlengine.Dialect, table string, r io.Reader) (int64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
@@ -247,8 +273,7 @@ func (e *ETL) LoadStaged(target Execer, dialect *sqlengine.Dialect, table string
 		if len(batch) == 0 {
 			return nil
 		}
-		sql := insertSQL(dialect, table, batch)
-		if _, err := target.Exec(sql); err != nil {
+		if err := execInsert(target, dialect, table, batch); err != nil {
 			return fmt.Errorf("warehouse: load into %s: %w", table, err)
 		}
 		loaded += int64(len(batch))
@@ -396,13 +421,23 @@ func InitWarehouse(wh DB, whDialect *sqlengine.Dialect, cfg ntuple.Config) error
 			return fmt.Errorf("warehouse: init: %w", err)
 		}
 	}
-	for _, row := range ntuple.RunRows(cfg) {
-		sql := insertSQL(whDialect, ntuple.DimRunTableName(), []sqlengine.Row{row})
-		if _, err := wh.Exec(sql); err != nil {
-			if strings.Contains(err.Error(), "unique constraint") {
-				continue
-			}
+	// Populate the run dimension in one batched insert. A unique-constraint
+	// violation means some runs are already present (second ntuple sharing
+	// the warehouse); only then retry row-at-a-time so the existing rows
+	// are skipped individually.
+	rows := ntuple.RunRows(cfg)
+	dim := ntuple.DimRunTableName()
+	if err := execInsert(wh, whDialect, dim, rows); err != nil {
+		if !strings.Contains(err.Error(), "unique constraint") {
 			return err
+		}
+		for _, row := range rows {
+			if err := execInsert(wh, whDialect, dim, []sqlengine.Row{row}); err != nil {
+				if strings.Contains(err.Error(), "unique constraint") {
+					continue
+				}
+				return err
+			}
 		}
 	}
 	return nil
