@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrepro [-exp fig4|fig5|cache|stream|wire|relay|join|obsv|table1|fig6|all] [-scale small|paper] [-repeats N]
+//	benchrepro [-exp fig4|fig5|cache|stream|wire|relay|join|obsv|load|table1|fig6|all] [-scale small|paper] [-repeats N]
 //
 // The "paper" scale uses the simulated 100 Mbps LAN profile and the
 // paper's testbed dimensions (6 databases, ~80k rows, ~1700 tables,
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, cache, stream, wire, relay, join, obsv, table1, fig6, all")
+	exp := flag.String("exp", "all", "experiment to run: fig4, fig5, cache, stream, wire, relay, join, obsv, load, table1, fig6, all")
 	scale := flag.String("scale", "small", "testbed scale: small (CI) or paper (simulated LAN, full size)")
 	repeats := flag.Int("repeats", 3, "measurement repeats per point")
 	cacheOut := flag.String("cache-out", "BENCH_cache.json", "path of the cache datapoint file (\"\" disables)")
@@ -38,6 +38,9 @@ func main() {
 	joinRows := flag.Int("join-rows", 0, "base fact-table row count of the join experiment (0 = scale default; the sweep also measures 10x this)")
 	obsvOut := flag.String("obsv-out", "BENCH_obsv.json", "path of the observability-overhead datapoint file (\"\" disables)")
 	obsvIters := flag.Int("obsv-iters", 0, "queries per repeat of the observability experiment (0 = scale default)")
+	loadOut := flag.String("load-out", "BENCH_load.json", "path of the admission-control datapoint file (\"\" disables)")
+	loadPhaseMs := flag.Int("load-phase-ms", 0, "wall-clock budget of each load phase in ms (0 = scale default)")
+	loadProfile := flag.String("load-profile", "local", "netsim link profile of the load experiment: local, lan100, wan")
 	flag.Parse()
 
 	profile := netsim.Local
@@ -108,6 +111,16 @@ func main() {
 			}
 		}
 		return runObsv(iters, *repeats, *obsvOut)
+	})
+	run("load", func() error {
+		phaseMs := *loadPhaseMs
+		if phaseMs == 0 {
+			phaseMs = 1000
+			if *scale == "paper" {
+				phaseMs = 4000
+			}
+		}
+		return runLoad(*loadProfile, phaseMs, *repeats, *loadOut)
 	})
 
 	var dep *experiments.Deployment
@@ -378,6 +391,55 @@ func runObsv(iters, repeats int, outPath string) error {
 		"query":     experiments.ObsvQuery,
 		"repeats":   repeats,
 		"result":    row,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+	return nil
+}
+
+// runLoad measures goodput and tail latency of the admission-controlled
+// server under a closed-loop mixed workload at capacity and at 2x
+// capacity, and writes the graceful-degradation datapoint to outPath.
+func runLoad(profileName string, phaseMs, repeats int, outPath string) error {
+	fmt.Println("== Extension: admission control, goodput under 2x overload ==")
+	row, err := experiments.RunLoad(profileName, phaseMs, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gate: %d in flight, queue %d, deadline %.0fms, profile %s\n",
+		row.MaxInFlight, row.QueueCap, row.AdmissionTimeoutMs, row.Profile)
+	fmt.Printf("%10s %10s %14s %10s %10s %10s %10s\n",
+		"phase", "sessions", "goodput (q/s)", "shed", "p50 (ms)", "p99 (ms)", "p999 (ms)")
+	for _, p := range []struct {
+		name string
+		ph   experiments.LoadPhase
+	}{{"capacity", row.Capacity}, {"overload", row.Overload}} {
+		fmt.Printf("%10s %10d %14.0f %10d %10.2f %10.2f %10.2f\n",
+			p.name, p.ph.Sessions, p.ph.GoodputOpsSec, p.ph.Shed, p.ph.P50Ms, p.ph.P99Ms, p.ph.P999Ms)
+	}
+	fmt.Printf("goodput ratio (overload/capacity): %.2f; shed fault distinct: %v; queued grants: %d\n",
+		row.GoodputRatio, row.ShedFaultOK, row.AdmittedQueued)
+	fmt.Printf("leaked goroutines: %d; cursors left open: %d\n", row.LeakedGoroutines, row.OpenCursorsAfter)
+	fmt.Println("expected shape: at 2x offered load the admitted queries keep >= 0.8x capacity goodput,")
+	fmt.Println("the excess is shed with FaultOverloaded (not queued unboundedly), and nothing leaks")
+	fmt.Println()
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(map[string]interface{}{
+		"benchmark": "admission_load",
+		"queries": []string{
+			experiments.LoadCachedQuery,
+			experiments.LoadStreamQuery,
+			experiments.LoadFederatedQuery,
+		},
+		"repeats": repeats,
+		"result":  row,
 	}, "", "  ")
 	if err != nil {
 		return err

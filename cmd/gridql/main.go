@@ -14,6 +14,7 @@
 //	gridql -server http://host:9410 -explain "SELECT ..."
 //	gridql -server http://host:9410 -slow [-n 10]
 //	gridql -server http://host:9410 -metrics
+//	gridql -server http://host:9410 -loadstats
 //
 // -explain prints the routing decision a query would take — route class,
 // cache state, chosen member databases or peers, relay tier, budgets —
@@ -22,7 +23,11 @@
 // server's -slow-threshold, with per-phase timings and their captured
 // plans. -metrics dumps the unified metrics snapshot (system.metrics);
 // the same registry is scraped as Prometheus text at the server's
-// /metrics endpoint.
+// /metrics endpoint. -loadstats shows the admission-control picture
+// (system.loadstats): the in-flight gate's occupancy and queue, the
+// admitted/queued/shed totals, and the per-tenant breakdown — who is
+// being admitted, who is being shed, and who holds open cursors and
+// streamed bytes against their session quotas.
 //
 // -stream pages the result through a server-side cursor (the
 // system.cursor.open/fetch/close methods) instead of one materialized
@@ -64,6 +69,7 @@ func main() {
 	slow := flag.Bool("slow", false, "print the server's slow-query log and exit")
 	slowN := flag.Int("n", 0, "with -slow, print at most this many entries (0 = all)")
 	metrics := flag.Bool("metrics", false, "print the server's unified metrics snapshot and exit")
+	loadstats := flag.Bool("loadstats", false, "print the server's admission-control and per-tenant load stats and exit")
 	stream := flag.Bool("stream", false, "page the result through a server-side cursor instead of one materialized response")
 	fetchSize := flag.Int("fetch-size", 256, "rows per cursor fetch with -stream (server clamps to its maximum)")
 	timeout := flag.Duration("timeout", 0, "abandon the call after this long (0 = no deadline); the server cancels the query's backend work")
@@ -131,6 +137,27 @@ func main() {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Printf("%-60s %v\n", k, m[k])
+		}
+	case *loadstats:
+		res, err := c.CallContext(ctx, "system.loadstats")
+		if err != nil {
+			log.Fatalf("gridql: %v", err)
+		}
+		m := res.(map[string]interface{})
+		fmt.Printf("admission control enabled=%v\n", m["enabled"])
+		for _, k := range []string{"max_inflight", "queue_cap", "inflight", "queued", "admitted_immediate", "admitted_queued", "shed", "cancelled", "session_max_cursors", "session_max_bytes"} {
+			fmt.Printf("  %-20s %v\n", k, m[k])
+		}
+		tenants, _ := m["tenants"].([]interface{})
+		for _, ti := range tenants {
+			t, ok := ti.(map[string]interface{})
+			if !ok {
+				continue
+			}
+			fmt.Printf("tenant %v (weight %v)\n", t["tenant"], t["weight"])
+			for _, k := range []string{"admitted_immediate", "admitted_queued", "shed", "cancelled", "queued_ms", "quota_denied_cursors", "quota_denied_bytes", "sessions", "open_cursors", "streamed_bytes"} {
+				fmt.Printf("  %-20s %v\n", k, t[k])
+			}
 		}
 	case *slow:
 		args := []interface{}{}

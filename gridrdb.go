@@ -190,6 +190,32 @@ type ServerConfig struct {
 	// per-route histograms, slow capture) for benchmarking the bare query
 	// path. The /metrics endpoint stays up; per-query series stop moving.
 	DisableMetrics bool
+	// MaxInFlight enables admission control when > 0: at most this many
+	// queries execute or stream concurrently; arrivals past the cap queue
+	// FIFO within their tenant's weight class, and are shed with the
+	// FaultOverloaded XML-RPC fault when the queue fills or the queue
+	// deadline expires. Per-tenant counters are served by
+	// system.loadstats; admission series appear in /metrics as
+	// gridrdb_admission_*. 0 leaves the gate off.
+	MaxInFlight int
+	// AdmissionQueue bounds how many queries may wait for a slot (0 =
+	// 2 × MaxInFlight; < 0 disables queueing — saturated means shed).
+	AdmissionQueue int
+	// AdmissionTimeout is the queue deadline before a waiter is shed with
+	// FaultOverloaded (0 = 5s; < 0 waits on the caller's context alone).
+	AdmissionTimeout time.Duration
+	// TenantWeights gives named users a relative share of the admission
+	// queue's drain rate under backlog; unlisted users weigh 1.
+	TenantWeights map[string]int
+	// SessionMaxCursors caps server-side cursors concurrently open per
+	// login session (0 = unlimited); opens past it shed with a
+	// FaultOverloaded quota fault until one closes, drains or is reaped.
+	SessionMaxCursors int
+	// SessionMaxBytes caps estimated bytes streamed to one login session
+	// over its lifetime (0 = unlimited); the budget resets when the
+	// session ends. A mid-stream quota hit fails the stream loudly and
+	// releases its backend resources, relay cursors included.
+	SessionMaxBytes int64
 }
 
 // Server is one running JClarens instance: the data access service plus
@@ -327,6 +353,12 @@ func (g *Grid) AddServer(cfg ServerConfig) (*Server, error) {
 		SlowQueryThreshold: cfg.SlowQueryThreshold,
 		SlowQueryLogSize:   cfg.SlowQueryLogSize,
 		DisableObsv:        cfg.DisableMetrics,
+		MaxInFlight:        cfg.MaxInFlight,
+		AdmissionQueue:     cfg.AdmissionQueue,
+		AdmissionTimeout:   cfg.AdmissionTimeout,
+		TenantWeights:      cfg.TenantWeights,
+		SessionMaxCursors:  cfg.SessionMaxCursors,
+		SessionMaxBytes:    cfg.SessionMaxBytes,
 	}
 	if rlsURL != "" {
 		c := rls.NewClient(rlsURL)

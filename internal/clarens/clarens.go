@@ -33,6 +33,11 @@ type Method func(ctx context.Context, call *CallContext, args []interface{}) (in
 type CallContext struct {
 	// User is the authenticated user ("" when the server runs open).
 	User string
+	// Session is the opaque session token the call authenticated with
+	// ("" on open servers). It identifies one login, so per-session
+	// resource quotas (open cursors, streamed bytes) key on it rather
+	// than on User: two logins by the same user are separate sessions.
+	Session string
 	// Remote is the caller's address.
 	Remote string
 }
@@ -227,6 +232,7 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		call.User = user
+		call.Session = token
 	}
 
 	s.mu.RLock()

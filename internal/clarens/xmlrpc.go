@@ -50,6 +50,17 @@ func IsCancelled(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// IsOverloaded reports whether an error is a load-shed response — a
+// FaultOverloaded fault, possibly wrapped by forwarding layers. Clients
+// use it to decide that a request is retryable after backoff.
+func IsOverloaded(err error) bool {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.Code == FaultOverloaded
+	}
+	return false
+}
+
 // Fault codes used by the server.
 const (
 	FaultParse       = 100
@@ -62,6 +73,14 @@ const (
 	// A distinct code lets clients (and a future system.cancel method)
 	// tell an abandoned query from an application failure.
 	FaultCancelled = 104
+	// FaultOverloaded reports that the server shed the request under
+	// load before doing any work on it: the admission queue was full,
+	// the queue-with-deadline expired before a slot freed, or a
+	// per-session quota (open cursors, streamed bytes) was exhausted.
+	// A distinct code tells clients "the server is healthy but
+	// saturated — back off and retry" apart from an application failure
+	// (don't retry) or a cancellation (the caller gave up).
+	FaultOverloaded = 105
 )
 
 // ---- legacy tree decoder ----

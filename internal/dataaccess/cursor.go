@@ -29,6 +29,10 @@ const (
 type cursor struct {
 	sr     *StreamResult
 	cancel context.CancelFunc
+	// onRelease runs exactly once when the cursor's resources are
+	// released (close, reap, exhaustion, producer error): it returns the
+	// session's cursor-quota reservation.
+	onRelease func()
 	// expires is the idle deadline in unix nanoseconds (0 = never). It is
 	// atomic so the reaper can inspect a cursor whose mutex is held by a
 	// long-running fetch without blocking behind it.
@@ -64,6 +68,9 @@ func (c *cursor) releaseLocked() {
 	c.closed = true
 	c.cancel()
 	c.sr.Close()
+	if c.onRelease != nil {
+		c.onRelease()
+	}
 }
 
 // cursorRegistry tracks open cursors and reaps the abandoned ones: a
@@ -126,6 +133,15 @@ func (s *Service) OpenCursor(ctx context.Context, sqlText string, params ...sqle
 	}
 	reg.mu.Unlock()
 
+	// The session's cursor quota is charged before any backend work: a
+	// denied open is pure bookkeeping. Every failure path below returns
+	// the reservation; success hands it to the cursor, whose release
+	// (close, reap, exhaustion, producer error) returns it exactly once.
+	ci := callerFrom(ctx)
+	if err := s.sessions.reserveCursor(ci); err != nil {
+		return nil, err
+	}
+
 	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	// Until the cursor is registered, the opening request's death must
 	// still cancel the producing query: a caller that abandons
@@ -139,6 +155,7 @@ func (s *Service) OpenCursor(ctx context.Context, sqlText string, params ...sqle
 	if err != nil {
 		stopWatch()
 		cancel()
+		s.sessions.releaseCursor(ci.Session)
 		return nil, err
 	}
 	stopWatch()
@@ -146,10 +163,15 @@ func (s *Service) OpenCursor(ctx context.Context, sqlText string, params ...sqle
 	if _, err := rand.Read(buf); err != nil {
 		cancel()
 		sr.Close()
+		s.sessions.releaseCursor(ci.Session)
 		return nil, err
 	}
 	id := hex.EncodeToString(buf)
 	cur := &cursor{sr: sr, cancel: cancel}
+	if ci.Session != "" && s.sessions != nil {
+		session := ci.Session
+		cur.onRelease = func() { s.sessions.releaseCursor(session) }
+	}
 	if reg.ttl > 0 {
 		cur.expires.Store(time.Now().Add(reg.ttl).UnixNano())
 	}

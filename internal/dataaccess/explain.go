@@ -21,6 +21,20 @@ import (
 // member databases or peers, the relay tier that would apply, and the
 // budgets in force.
 func (s *Service) Explain(ctx context.Context, sqlText string, params ...sqlengine.Value) (map[string]interface{}, error) {
+	m, err := s.explainResolve(ctx, sqlText, params)
+	if err != nil {
+		return nil, err
+	}
+	if s.admit != nil {
+		// The gate's answer for a query arriving right now: "admit",
+		// "queue", or "would-shed". Explain itself is never gated, so a
+		// saturated server still explains why it is shedding.
+		m["admission"] = s.admit.probe()
+	}
+	return m, nil
+}
+
+func (s *Service) explainResolve(ctx context.Context, sqlText string, params []sqlengine.Value) (map[string]interface{}, error) {
 	cached := s.cache != nil && s.cache.Peek(cacheKey(sqlText, params))
 	plan, err := s.fed.PlanQuery(sqlText)
 	var unknown *unity.ErrUnknownTable

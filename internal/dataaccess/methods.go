@@ -36,6 +36,7 @@ import (
 //	system.metrics()                          -> {name{labels}: value, ...} (unified snapshot)
 //	system.explain(sql [, params...])         -> {route, cached, deps, ...} (no execution)
 //	system.slowqueries([n])                   -> {threshold_ms, total, entries}
+//	system.loadstats()                        -> {enabled, inflight, queued, tenants, ...}
 //
 // Result payloads are rendered by the zero-boxing wire codec: rows encode
 // cell-direct into the response stream (wirecodec.go). queryb / fetchb are
@@ -56,12 +57,12 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		return sqlText, params, err
 	}
 
-	srv.Register("dataaccess.query", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+	srv.Register("dataaccess.query", func(ctx context.Context, call *clarens.CallContext, args []interface{}) (interface{}, error) {
 		sqlText, params, err := queryArgs("dataaccess.query", args)
 		if err != nil {
 			return nil, err
 		}
-		qr, err := s.QueryContext(ctx, sqlText, params...)
+		qr, err := s.QueryContext(WithCaller(ctx, call.User, call.Session), sqlText, params...)
 		if err != nil {
 			return nil, err
 		}
@@ -83,12 +84,12 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 	})
 
 	if !s.cfg.DisableBinRows {
-		srv.Register("dataaccess.queryb", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+		srv.Register("dataaccess.queryb", func(ctx context.Context, call *clarens.CallContext, args []interface{}) (interface{}, error) {
 			sqlText, params, err := queryArgs("dataaccess.queryb", args)
 			if err != nil {
 				return nil, err
 			}
-			qr, err := s.QueryContext(ctx, sqlText, params...)
+			qr, err := s.QueryContext(WithCaller(ctx, call.User, call.Session), sqlText, params...)
 			if err != nil {
 				return nil, err
 			}
@@ -215,7 +216,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 	// the idle-TTL reaper) cancels the producing query. The producing
 	// query's context is the cursor's own, not any one request's, so it
 	// survives between fetches and dies with the cursor.
-	srv.Register("system.cursor.open", func(ctx context.Context, _ *clarens.CallContext, args []interface{}) (interface{}, error) {
+	srv.Register("system.cursor.open", func(ctx context.Context, call *clarens.CallContext, args []interface{}) (interface{}, error) {
 		if len(args) < 1 {
 			return nil, fmt.Errorf("system.cursor.open requires (sql [, params...])")
 		}
@@ -227,7 +228,7 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 		if err != nil {
 			return nil, err
 		}
-		info, err := s.OpenCursor(ctx, sqlText, params...)
+		info, err := s.OpenCursor(WithCaller(ctx, call.User, call.Session), sqlText, params...)
 		if err != nil {
 			return nil, err
 		}
@@ -319,6 +320,44 @@ func (s *Service) RegisterMethods(srv *clarens.Server) {
 			return nil, err
 		}
 		return s.Explain(ctx, sqlText, params...)
+	})
+
+	// system.loadstats is the admission-control counterpart of
+	// system.cachestats: the gate's live state and per-tenant admission,
+	// shed and quota history.
+	srv.Register("system.loadstats", func(_ context.Context, _ *clarens.CallContext, _ []interface{}) (interface{}, error) {
+		ls := s.LoadStats()
+		tenants := make([]interface{}, len(ls.Tenants))
+		for i, tl := range ls.Tenants {
+			tenants[i] = map[string]interface{}{
+				"tenant":               tl.Tenant,
+				"weight":               int64(tl.Weight),
+				"admitted_immediate":   tl.AdmittedImmediate,
+				"admitted_queued":      tl.AdmittedQueued,
+				"shed":                 tl.Shed,
+				"cancelled":            tl.Cancelled,
+				"queued_ms":            tl.QueuedMs,
+				"quota_denied_cursors": tl.QuotaDeniedCursors,
+				"quota_denied_bytes":   tl.QuotaDeniedBytes,
+				"sessions":             int64(tl.Sessions),
+				"open_cursors":         int64(tl.OpenCursors),
+				"streamed_bytes":       tl.StreamedBytes,
+			}
+		}
+		return map[string]interface{}{
+			"enabled":             ls.Enabled,
+			"max_inflight":        int64(ls.MaxInFlight),
+			"queue_cap":           int64(ls.QueueCap),
+			"inflight":            int64(ls.InFlight),
+			"queued":              int64(ls.Queued),
+			"admitted_immediate":  ls.AdmittedImmediate,
+			"admitted_queued":     ls.AdmittedQueued,
+			"shed":                ls.Shed,
+			"cancelled":           ls.Cancelled,
+			"session_max_cursors": int64(ls.SessionMaxCursors),
+			"session_max_bytes":   ls.SessionMaxBytes,
+			"tenants":             tenants,
+		}, nil
 	})
 
 	// system.slowqueries returns the slow-query ring, most recent first;

@@ -12,6 +12,7 @@ package dataaccess
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log/slog"
 	"sync/atomic"
@@ -84,6 +85,18 @@ type serviceObsv struct {
 	relayRows      *obsv.Counter
 	relayFallbacks *obsv.Counter
 
+	// Admission-gate counters: how arrivals fared at the in-flight gate
+	// (admitted straight away / after queueing / shed), how long queued
+	// admissions waited, and per-session quota denials.
+	admImmediate   *obsv.Counter
+	admQueued      *obsv.Counter
+	admShedFull    *obsv.Counter
+	admShedTimeout *obsv.Counter
+	admCancelled   *obsv.Counter
+	admWait        *obsv.Histogram
+	quotaCursors   *obsv.Counter
+	quotaBytes     *obsv.Counter
+
 	// Streaming-operator counters: how decomposed/mixed streamed queries
 	// were served, and the spill telemetry of the buffering operators.
 	streamPipelined *obsv.Counter
@@ -154,6 +167,50 @@ func newServiceObsv(cfg Config, s *Service) *serviceObsv {
 	o.relayFetches = r.Counter("gridrdb_relay_fetches_total", "Pages pulled off remote relay cursors.")
 	o.relayRows = r.Counter("gridrdb_relay_rows_total", "Rows relayed from remote cursors.")
 	o.relayFallbacks = r.Counter("gridrdb_relay_fallbacks_total", "Mid-stream downgrades from binary to plain relay fetches.")
+
+	for _, out := range []struct {
+		cell  **obsv.Counter
+		value string
+	}{{&o.admImmediate, "immediate"}, {&o.admQueued, "queued"}} {
+		*out.cell = r.Counter("gridrdb_admission_admitted_total",
+			"Queries admitted through the in-flight gate, by how.", obsv.Label{Key: "outcome", Value: out.value})
+	}
+	for _, sh := range []struct {
+		cell  **obsv.Counter
+		value string
+	}{{&o.admShedFull, "queue_full"}, {&o.admShedTimeout, "queue_timeout"}} {
+		*sh.cell = r.Counter("gridrdb_admission_shed_total",
+			"Queries shed by the admission gate, by reason.", obsv.Label{Key: "reason", Value: sh.value})
+	}
+	o.admCancelled = r.Counter("gridrdb_admission_cancelled_total",
+		"Queued queries whose own context ended before a slot freed.")
+	o.admWait = r.Histogram("gridrdb_admission_wait_seconds",
+		"Queue wait of queries admitted after queueing.", nil)
+	for _, q := range []struct {
+		cell  **obsv.Counter
+		value string
+	}{{&o.quotaCursors, "cursors"}, {&o.quotaBytes, "bytes"}} {
+		*q.cell = r.Counter("gridrdb_admission_quota_denials_total",
+			"Per-session quota denials, by quota.", obsv.Label{Key: "quota", Value: q.value})
+	}
+	r.GaugeFunc("gridrdb_admission_inflight", "Queries currently holding an admission slot.", func() int64 {
+		a := s.admit
+		if a == nil {
+			return 0
+		}
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(a.inflight)
+	})
+	r.GaugeFunc("gridrdb_admission_queued", "Queries currently waiting for an admission slot.", func() int64 {
+		a := s.admit
+		if a == nil {
+			return 0
+		}
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(a.queued)
+	})
 
 	o.streamPipelined = r.Counter("gridrdb_stream_pipelined_total",
 		"Streamed decomposed/mixed queries served by the pipelined operators.")
@@ -229,6 +286,10 @@ type qtrack struct {
 	parseNs, routeNs, backendNs, streamNs atomic.Int64
 	streamStart                           atomic.Int64 // unix nanos; 0 = not streaming
 	rows, bytes                           atomic.Int64
+	// admOutcome / admWaitNs record how the query fared at the admission
+	// gate (admitNone when the gate is off or was never consulted).
+	admOutcome atomic.Int32
+	admWaitNs  atomic.Int64
 
 	// plan / rp capture the routing outcome for lazy explain assembly;
 	// only a query slow enough for the ring pays to describe itself.
@@ -314,6 +375,26 @@ func (t *qtrack) noteStreamExec(ex *unity.StreamExec) {
 	}
 }
 
+func (t *qtrack) noteAdmission(outcome int32, waited time.Duration) {
+	if t != nil {
+		t.admOutcome.Store(outcome)
+		t.admWaitNs.Store(int64(waited))
+	}
+}
+
+// admissionLabel renders a gate outcome for explain maps, slow-query
+// records and completion logs ("" when the gate was not consulted).
+func admissionLabel(outcome int32, waited time.Duration) string {
+	switch outcome {
+	case admitImmediate:
+		return "immediate"
+	case admitQueued:
+		return fmt.Sprintf("queued %dms", waited.Milliseconds())
+	default:
+		return ""
+	}
+}
+
 // beginStream marks the hand-off from routing to consumer-paced
 // delivery; finish turns it into the stream phase.
 func (t *qtrack) beginStream() {
@@ -372,6 +453,12 @@ func (t *qtrack) finish(err error) {
 		slog.Int64("rows", rows))
 	if o.slow != nil && dur >= o.slowThreshold {
 		em := t.svc.explainMap(classNames[c], t.plan.Load(), t.rp.Load(), c == classCache)
+		// The admission outcome makes overload incidents debuggable from
+		// the slow ring: "queued 1400ms" on a slow query says the time
+		// went to the gate, not the backend.
+		if adm := admissionLabel(t.admOutcome.Load(), time.Duration(t.admWaitNs.Load())); adm != "" {
+			em["admission"] = adm
+		}
 		if sx != nil {
 			// The executed operator trumps the plan-time label (they only
 			// differ when execution downgraded), and a spilled query carries

@@ -112,6 +112,37 @@ type Config struct {
 	// no-op baseline the obsv benchmark compares against; production
 	// servers leave it off.
 	DisableObsv bool
+	// MaxInFlight enables the admission gate when > 0: at most this many
+	// queries execute (or stream) concurrently; arrivals past the cap
+	// queue FIFO within their tenant's weight class until a slot frees,
+	// their deadline expires, or the queue fills — the last two shed with
+	// clarens.FaultOverloaded before any planning or backend work. Cache
+	// hits and coalesced waits never consume a slot. 0 disables the gate.
+	MaxInFlight int
+	// AdmissionQueue bounds how many queries may wait for a slot. 0
+	// selects the default (2 × MaxInFlight); < 0 disables queueing, so a
+	// saturated gate sheds immediately.
+	AdmissionQueue int
+	// AdmissionTimeout is the queue deadline: a waiter that has not been
+	// granted a slot within it is shed with FaultOverloaded (the caller's
+	// own context expiring first yields FaultCancelled instead). 0
+	// selects the default (5s); < 0 waits bounded only by the caller's
+	// context.
+	AdmissionTimeout time.Duration
+	// TenantWeights gives named tenants (authenticated users) a relative
+	// share of the admission queue's drain rate; unlisted tenants weigh
+	// 1. Weights only matter under backlog — an idle gate admits anyone.
+	TenantWeights map[string]int
+	// SessionMaxCursors caps server-side cursors concurrently open per
+	// session (0 = unlimited). Past it, cursor opens shed with a
+	// FaultOverloaded quota fault until one closes, drains, or is reaped.
+	SessionMaxCursors int
+	// SessionMaxBytes caps estimated bytes streamed to one session over
+	// its lifetime (0 = unlimited); the budget resets when the session
+	// ends (EndSession, or the hour-idle sweep). A quota hit mid-stream
+	// fails the stream with a FaultOverloaded fault and releases its
+	// backend resources — remote relay cursors included.
+	SessionMaxBytes int64
 }
 
 // Route identifies which module answered a query (§4.5's two modules plus
@@ -160,6 +191,11 @@ type Service struct {
 	// obs is the observability state: metric registry, logger,
 	// slow-query ring, and the relay/cursor lifetime counters.
 	obs *serviceObsv
+	// admit is the weighted max-in-flight gate (nil when MaxInFlight is
+	// 0); sessions enforces per-session cursor/byte quotas (nil when both
+	// quota knobs are 0).
+	admit    *admitter
+	sessions *sessionTable
 }
 
 // New creates an empty service; add databases with AddDatabase.
@@ -172,6 +208,8 @@ func New(cfg Config) *Service {
 		ralConns: make(map[string]string),
 	}
 	s.obs = newServiceObsv(cfg, s)
+	s.admit = newAdmitter(cfg, s.obs)
+	s.sessions = newSessionTable(cfg, s.obs)
 	s.cursors = newCursorRegistry(cfg.CursorTTL, s.obs)
 	s.fed.SourceBudget = cfg.SourceBudget
 	s.fed.ScratchMaxBytes = cfg.ScratchMaxBytes
@@ -355,14 +393,16 @@ func (s *Service) QueryContext(ctx context.Context, sqlText string, params ...sq
 		err    error
 	)
 	if s.cache == nil {
-		qr, _, err = s.queryRouted(ctx, sqlText, params)
+		qr, _, err = s.queryAdmitted(ctx, sqlText, params)
 	} else {
 		// The track rides into the computation through the context values
 		// qcache.Do preserves on its detached goroutine; a served answer
 		// (resident hit or coalesced wait) never ran the computation, so
-		// its class is the cache.
+		// its class is the cache. Admission happens inside the computation
+		// for the same reason: hits and coalesced waiters never consume an
+		// in-flight slot — only the query that actually runs does.
 		qr, served, err = s.cache.Do(ctx, cacheKey(sqlText, params), func(ctx context.Context) (*QueryResult, []qcache.Dep, error) {
-			return s.queryRouted(ctx, sqlText, params)
+			return s.queryAdmitted(ctx, sqlText, params)
 		})
 	}
 	if served {
@@ -390,8 +430,14 @@ func (s *Service) ExecuteContext(ctx context.Context, plan *unity.Plan, params .
 	} else {
 		t.setClass(classUnityDecomp)
 	}
+	tk, aerr := s.acquireSlot(ctx)
+	if aerr != nil {
+		t.finish(aerr)
+		return nil, aerr
+	}
 	tb := t.now()
 	rs, err := s.fed.ExecuteContext(ctx, plan, params...)
+	tk.release()
 	t.addBackend(tb)
 	if err != nil {
 		t.finish(err)
@@ -401,6 +447,33 @@ func (s *Service) ExecuteContext(ctx context.Context, plan *unity.Plan, params .
 	t.noteRows(int64(len(rs.Rows)))
 	t.finish(nil)
 	return &QueryResult{ResultSet: rs, Route: RouteUnity, Servers: 1}, nil
+}
+
+// acquireSlot admits the context's caller through the in-flight gate,
+// noting the outcome (immediate / queued-for-how-long) on the query
+// track. The nil ticket from a disabled gate is safe to release.
+func (s *Service) acquireSlot(ctx context.Context) (*ticket, error) {
+	if s.admit == nil {
+		return nil, nil
+	}
+	tk, err := s.admit.acquire(ctx, callerFrom(ctx).tenantOf())
+	if err != nil {
+		return nil, err
+	}
+	trackFrom(ctx).noteAdmission(tk.outcome, tk.waited)
+	return tk, nil
+}
+
+// queryAdmitted runs the routing core under an admission slot, held for
+// the duration of the (materializing) execution. A shed request returns
+// before any planning or backend work.
+func (s *Service) queryAdmitted(ctx context.Context, sqlText string, params []sqlengine.Value) (*QueryResult, []qcache.Dep, error) {
+	tk, err := s.acquireSlot(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tk.release()
+	return s.queryRouted(ctx, sqlText, params)
 }
 
 // queryRouted is the uncached routing core; alongside the result it

@@ -92,14 +92,28 @@ func (s *Service) QueryStreamContext(ctx context.Context, sqlText string, params
 	if s.cache != nil {
 		if qr, ok := s.cache.Get(key); ok {
 			t.setClass(classCache)
-			return s.trackStream(&StreamResult{
+			// A hit bypasses the admission gate (no backend work) but still
+			// charges the session's streamed-byte quota: delivery is what
+			// the quota meters, wherever the rows come from.
+			sr := &StreamResult{
 				cols:    qr.Columns,
 				Route:   qr.Route,
 				Servers: qr.Servers,
 				iter:    sqlengine.SliceIter(qr.ResultSet),
-			}, t), nil
+			}
+			return s.trackStream(s.gateStream(sr, nil, callerFrom(ctx)), t), nil
 		}
 		epoch = s.cache.Epoch()
+	}
+	// The admission gate sits between the cache (hits never consume a
+	// slot) and the planner (a shed query never parses, plans, or opens a
+	// backend connection). The slot stays held while the stream lives —
+	// released when the consumer drains, errors, or closes it — so
+	// MaxInFlight bounds concurrently *streaming* work, cursors included.
+	tk, aerr := s.acquireSlot(ctx)
+	if aerr != nil {
+		t.finish(aerr)
+		return nil, aerr
 	}
 	tp := t.now()
 	plan, err := s.fed.PlanQuery(sqlText)
@@ -113,14 +127,16 @@ func (s *Service) QueryStreamContext(ctx context.Context, sqlText string, params
 	case errors.As(err, &unknown):
 		sr, err = s.streamWithRemote(ctx, key, sqlText, params, epoch)
 	default:
+		tk.release()
 		t.finish(err)
 		return nil, err
 	}
 	if err != nil {
+		tk.release()
 		t.finish(err)
 		return nil, err
 	}
-	return s.trackStream(sr, t), nil
+	return s.trackStream(s.gateStream(sr, tk, callerFrom(ctx)), t), nil
 }
 
 // streamLocal routes a fully-local streaming query, mirroring queryLocal's
